@@ -1,0 +1,25 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  The scale is
+controlled by the ``REPRO_EXPERIMENT_SCALE`` environment variable
+(``smoke`` -- the default here, so that ``pytest benchmarks/`` stays fast --
+``quick`` or ``full``); the benchmark bodies print the regenerated rows so
+the run doubles as a report.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.settings import ExperimentSettings
+
+
+@pytest.fixture(scope="session")
+def settings() -> ExperimentSettings:
+    """Experiment scale used by all benchmarks (defaults to ``smoke``)."""
+    return ExperimentSettings.from_environment(default="smoke")
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

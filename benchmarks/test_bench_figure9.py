@@ -1,0 +1,30 @@
+"""Benchmark regenerating Figure 9: latency vs. the FD timeout (§5.4)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments.figure8 import run_figure8
+from repro.experiments.figure9 import format_figure9, run_figure9
+
+
+def test_figure9_latency_vs_timeout(benchmark, settings):
+    # The paper derives the QoS inputs and the latencies from the same runs;
+    # run Figure 8 first (untimed) and benchmark the Figure 9 pass that
+    # reuses those measurements and adds the SAN simulations.
+    figure8 = run_figure8(settings)
+    result = run_once(benchmark, run_figure9, settings, figure8)
+    print()
+    print("=== Figure 9: latency vs. failure-detection timeout ===")
+    print(format_figure9(result))
+    for n in settings.class3_process_counts:
+        series = result.measured_series(n)
+        if len(series) < 2:
+            continue
+        latencies = [latency for _t, latency in series]
+        # The latency at the smallest timeout dominates the latency at the
+        # largest timeout (wrong suspicions force extra rounds).
+        assert latencies[0] > latencies[-1]
+    # Where SAN simulations exist, they must be positive and finite.
+    for point in result.points.values():
+        for value in point.simulated_latency_ms.values():
+            assert value > 0

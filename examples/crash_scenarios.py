@@ -1,0 +1,71 @@
+"""Crash scenarios: what does a crashed process cost? (Table 1 of the paper)
+
+Three scenarios are measured on the simulated cluster and simulated with the
+SAN model, for 3 and 5 processes:
+
+* **no crash** -- the baseline;
+* **coordinator crash** -- the first coordinator is down from the start, so
+  the algorithm needs a second round (latency goes up);
+* **participant crash** -- a non-coordinator is down; it sends no messages,
+  so there is *less* contention and (for n >= 5) the latency goes down.
+
+The example also reproduces the paper's n = 3 curiosity: in the
+*measurements*, the participant crash is slightly slower than the crash-free
+case (the coordinator's proposal to the dead participant delays the copy
+sent to the live one), while the SAN *model* -- which sends the proposal as
+a single broadcast -- predicts the opposite.
+
+Run with::
+
+    python examples/crash_scenarios.py
+"""
+
+from __future__ import annotations
+
+from repro import MeasurementConfig, MeasurementRunner, Scenario
+from repro.cluster import ClusterConfig
+from repro.sanmodels import ConsensusSANExperiment
+
+EXECUTIONS = 200
+REPLICATIONS = 300
+
+SCENARIOS = (
+    ("no crash", Scenario.no_failures(), ()),
+    ("coordinator crash", Scenario.coordinator_crash(), (0,)),
+    ("participant crash", Scenario.participant_crash(1), (1,)),
+)
+
+
+def measure(n: int, scenario: Scenario, seed: int) -> float:
+    config = MeasurementConfig(
+        cluster=ClusterConfig(n_processes=n, seed=seed),
+        scenario=scenario,
+        executions=EXECUTIONS,
+    )
+    return MeasurementRunner(config).run().mean_latency_ms
+
+
+def simulate(n: int, crashed: tuple, seed: int) -> float:
+    experiment = ConsensusSANExperiment(n_processes=n, crashed=crashed, seed=seed)
+    return experiment.run(replications=REPLICATIONS).mean_ms
+
+
+def main() -> None:
+    print("latency [ms]          n=3 meas.   n=3 sim.   n=5 meas.   n=5 sim.")
+    for index, (label, scenario, crashed) in enumerate(SCENARIOS):
+        cells = []
+        for n in (3, 5):
+            cells.append(f"{measure(n, scenario, seed=10 * index + n):9.3f}")
+            cells.append(f"{simulate(n, crashed, seed=20 * index + n):9.3f}")
+        print(f"{label:<20}  " + "  ".join(cells))
+    print(
+        "\nExpected shapes (paper, Table 1): the coordinator crash is the most"
+        " expensive scenario everywhere; the participant crash is cheaper"
+        " than the crash-free case for n = 5; for n = 3 the measured"
+        " participant-crash latency is slightly *higher* while the simulated"
+        " one is lower (single-broadcast simplification of the SAN model)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Tuning the heartbeat failure detector: picking the timeout T.
+
+The class-3 experiments of the paper (§5.4) expose the fundamental trade-off
+of timeout-based failure detection:
+
+* a *small* timeout detects real crashes quickly but produces frequent wrong
+  suspicions (small mistake recurrence time T_MR), which force the consensus
+  algorithm into extra rounds and inflate its latency;
+* a *large* timeout almost never errs (T_MR grows sharply), so the
+  crash-free latency is optimal -- but a real crash would go undetected for
+  a long time.
+
+This example sweeps the timeout for a 3-process cluster with the heartbeat
+period fixed at Th = 0.7 T, reports the measured QoS metrics (Figure 8) and
+the consensus latency (Figure 9a), and suggests the smallest timeout whose
+latency is within 10% of the asymptotic (no-suspicion) latency.
+
+Run with::
+
+    python examples/failure_detector_tuning.py
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.figure8 import measure_class3_point
+from repro.experiments.settings import ExperimentSettings
+from repro import MeasurementConfig, MeasurementRunner, Scenario
+from repro.cluster import ClusterConfig
+
+TIMEOUTS_MS = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0)
+N_PROCESSES = 3
+
+
+def main() -> None:
+    settings = ExperimentSettings(class3_executions=60, seed=7)
+
+    baseline = MeasurementRunner(
+        MeasurementConfig(
+            cluster=ClusterConfig(n_processes=N_PROCESSES, seed=99),
+            scenario=Scenario.no_failures(),
+            executions=100,
+        )
+    ).run().mean_latency_ms
+    print(f"crash-free latency without suspicions: {baseline:.3f} ms\n")
+
+    print("T [ms]   Th [ms]   T_MR [ms]   T_M [ms]   consensus latency [ms]")
+    recommended = None
+    for index, timeout in enumerate(TIMEOUTS_MS):
+        point = measure_class3_point(
+            settings, N_PROCESSES, timeout, point_seed=1000 + index
+        )
+        latency = (
+            sum(point.latencies_ms) / len(point.latencies_ms)
+            if point.latencies_ms
+            else float("nan")
+        )
+        tmr = point.mistake_recurrence_time_ms
+        tmr_text = f"{tmr:9.1f}" if math.isfinite(tmr) else "      inf"
+        print(
+            f"{timeout:6.1f}   {0.7 * timeout:7.2f}   {tmr_text}   "
+            f"{point.mistake_duration_ms:8.2f}   {latency:22.3f}"
+        )
+        if recommended is None and latency <= 1.10 * baseline:
+            recommended = timeout
+
+    if recommended is not None:
+        print(
+            f"\nsmallest timeout whose latency stays within 10% of the"
+            f" no-suspicion latency: T = {recommended:.0f} ms"
+            f" (detection time after a real crash is then roughly T)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Quickstart: measure and simulate the latency of ◇S consensus.
+
+This example walks through the paper's combined methodology on the smallest
+interesting configuration (3 processes, no failures):
+
+1. measure the consensus latency on the simulated cluster;
+2. measure the end-to-end message delays and fit the SAN network parameters;
+3. simulate the SAN model of the same scenario;
+4. compare the two results.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    MeasurementConfig,
+    MeasurementRunner,
+    SANParameters,
+    Scenario,
+    compare_results,
+    measure_end_to_end_delays,
+)
+from repro.cluster import ClusterConfig
+from repro.sanmodels import ConsensusSANExperiment
+
+
+def main() -> None:
+    cluster = ClusterConfig(n_processes=3, seed=1)
+
+    # 1. Measurement: 200 consensus executions, 10 ms apart (as in §4).
+    measurement = MeasurementRunner(
+        MeasurementConfig(
+            cluster=cluster,
+            scenario=Scenario.no_failures(),
+            executions=200,
+        )
+    ).run()
+    print("--- measurement (simulated cluster) ---")
+    print(f"executions : {len(measurement.latencies_ms)}")
+    print(f"mean       : {measurement.mean_latency_ms:.3f} ms")
+    print(f"90% CI     : ±{measurement.summary.ci.half_width:.3f} ms")
+    print(f"median     : {measurement.cdf().median():.3f} ms")
+
+    # 2. Calibration inputs: end-to-end delays of unicast/broadcast messages.
+    delays = measure_end_to_end_delays(cluster.with_seed(2), probes=500)
+    parameters = SANParameters.from_measured_delays(
+        unicast_delays=delays.unicast_delays,
+        broadcast_delays_by_n={3: delays.broadcast_delays},
+        t_send_ms=0.025,
+    )
+    print("\n--- SAN network parameters (fitted from measured delays) ---")
+    print(f"unicast end-to-end fit : {parameters.unicast_fit}")
+
+    # 3. SAN simulation of the same scenario.
+    simulation = ConsensusSANExperiment(
+        n_processes=3, parameters=parameters, seed=3
+    ).run(replications=300)
+    print("\n--- SAN simulation ---")
+    print(f"replications : {simulation.replications}")
+    print(f"mean         : {simulation.mean_ms:.3f} ms")
+    print(f"90% CI       : ±{simulation.interval.half_width:.3f} ms")
+
+    # 4. Validation: do the two approaches agree?
+    report = compare_results(
+        measurement.latencies_ms, simulation.latencies_ms, label="n=3, no failures"
+    )
+    print("\n--- validation ---")
+    print(report)
+
+
+if __name__ == "__main__":
+    main()

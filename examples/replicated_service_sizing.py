@@ -1,0 +1,54 @@
+"""Sizing an actively replicated service: how much does each replica cost?
+
+The paper motivates consensus latency through active replication (§2.3):
+client requests are atomically broadcast to all replicas, atomic broadcast
+is implemented with consensus, and the first replica to decide answers the
+client.  The consensus latency is therefore a lower bound on the response
+time added by the replication degree.
+
+This example sweeps the number of replicas (3, 5, 7, 9, 11 -- the paper's
+range), measures the consensus latency of the crash-free case and of the
+worst non-suspecting failure case (the coordinator replica is down), and
+prints the latency cost of each additional pair of replicas.
+
+Run with::
+
+    python examples/replicated_service_sizing.py
+"""
+
+from __future__ import annotations
+
+from repro import MeasurementConfig, MeasurementRunner, Scenario
+from repro.cluster import ClusterConfig
+
+EXECUTIONS = 150
+REPLICA_COUNTS = (3, 5, 7, 9, 11)
+
+
+def measure(n_replicas: int, scenario, seed: int) -> float:
+    config = MeasurementConfig(
+        cluster=ClusterConfig(n_processes=n_replicas, seed=seed),
+        scenario=scenario,
+        executions=EXECUTIONS,
+    )
+    return MeasurementRunner(config).run().mean_latency_ms
+
+
+def main() -> None:
+    print("replicas   crash-free [ms]   coordinator down [ms]   marginal cost [ms]")
+    previous = None
+    for index, n in enumerate(REPLICA_COUNTS):
+        healthy = measure(n, Scenario.no_failures(), seed=100 + index)
+        degraded = measure(n, Scenario.coordinator_crash(), seed=200 + index)
+        marginal = "" if previous is None else f"{healthy - previous:+.3f}"
+        print(f"{n:<10d} {healthy:15.3f}   {degraded:21.3f}   {marginal:>18}")
+        previous = healthy
+    print(
+        "\nEach additional pair of replicas adds roughly a constant amount of"
+        " latency (the paper's Fig. 7a): tolerating one more crash costs"
+        " about a third of a millisecond per request on a LAN-class cluster."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works in environments whose setuptools predates PEP 660
+editable installs (it falls back to the legacy ``setup.py develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,121 @@
+"""Command-line interface: regenerate any of the paper's tables and figures.
+
+Usage::
+
+    python -m repro.cli figure6 [--scale smoke|quick|full]
+    python -m repro.cli figure7a
+    python -m repro.cli figure7b
+    python -m repro.cli means
+    python -m repro.cli table1
+    python -m repro.cli figure8
+    python -m repro.cli figure9
+    python -m repro.cli all
+
+The textual output mirrors the corresponding table or figure of the paper;
+the same generators back the benchmark suite in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from repro.experiments.figure6 import format_figure6, run_figure6
+from repro.experiments.figure7 import (
+    format_latency_means,
+    run_figure7a,
+    run_figure7b,
+    run_latency_means,
+)
+from repro.experiments.figure8 import format_figure8, run_figure8
+from repro.experiments.figure9 import format_figure9, run_figure9
+from repro.experiments.settings import ExperimentSettings
+from repro.experiments.table1 import format_table1, run_table1
+
+
+def _report_figure7a(settings: ExperimentSettings) -> str:
+    result = run_figure7a(settings)
+    lines = ["Figure 7(a): latency, no failures, no suspicions",
+             "n    mean [ms]   median [ms]   p90 [ms]"]
+    for n in sorted(result.latencies_by_n):
+        cdf = result.cdf(n)
+        lines.append(
+            f"{n:<4d} {cdf.mean():9.3f}   {cdf.median():11.3f}   {cdf.quantile(0.9):8.3f}"
+        )
+    return "\n".join(lines)
+
+
+def _report_figure7b(settings: ExperimentSettings) -> str:
+    result = run_figure7b(settings)
+    lines = [
+        "Figure 7(b): calibration of t_send "
+        f"(measured mean {result.measured_cdf().mean():.3f} ms, n={result.n_processes})",
+        "t_send [ms]   simulated mean [ms]   KS distance",
+    ]
+    for candidate in result.calibration.candidates:
+        lines.append(
+            f"{candidate.t_send_ms:11.3f}   {candidate.mean_latency_ms:19.3f}   "
+            f"{candidate.ks_distance:10.3f}"
+        )
+    lines.append(f"calibrated t_send = {result.best_t_send_ms} ms")
+    return "\n".join(lines)
+
+
+REPORTS: Dict[str, Callable[[ExperimentSettings], str]] = {
+    "figure6": lambda settings: format_figure6(run_figure6(settings)),
+    "figure7a": _report_figure7a,
+    "figure7b": _report_figure7b,
+    "means": lambda settings: format_latency_means(run_latency_means(settings)),
+    "table1": lambda settings: format_table1(run_table1(settings)),
+    "figure8": lambda settings: format_figure8(run_figure8(settings)),
+    "figure9": lambda settings: format_figure9(run_figure9(settings)),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of ``python -m repro.cli``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the tables and figures of the DSN 2002 paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(REPORTS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("smoke", "quick", "full"),
+        default=None,
+        help="experiment scale (default: REPRO_EXPERIMENT_SCALE or 'quick')",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="override the base seed")
+    args = parser.parse_args(argv)
+
+    if args.scale is not None:
+        settings = {
+            "smoke": ExperimentSettings.smoke,
+            "quick": ExperimentSettings.quick,
+            "full": ExperimentSettings.full,
+        }[args.scale]()
+    else:
+        settings = ExperimentSettings.from_environment()
+    if args.seed is not None:
+        from dataclasses import replace
+
+        settings = replace(settings, seed=args.seed)
+
+    names = sorted(REPORTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        started = time.time()
+        print(f"==== {name} ====")
+        print(REPORTS[name](settings))
+        print(f"[{name} regenerated in {time.time() - started:.1f} s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,78 @@
+"""Host clocks.
+
+The paper measures sub-millisecond latencies, which required a 1 µs native
+clock and NTP synchronisation of the hosts to within ±50 µs (§4).  The
+simulated cluster reproduces both imperfections: each host's clock has a
+constant offset drawn within the synchronisation precision, a small constant
+drift, and a finite reading resolution.  Measurements performed by the
+experiment harness read *local* clocks, exactly as the real measurements
+did, so the same measurement error enters the results.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+class HostClock:
+    """The local clock of one host.
+
+    Parameters
+    ----------
+    offset_ms:
+        Constant offset of the local clock with respect to global simulated
+        time (positive means the local clock is ahead).
+    drift_ppm:
+        Constant relative drift in parts per million.
+    resolution_ms:
+        Reading granularity; local readings are rounded down to a multiple
+        of this value.
+    """
+
+    def __init__(
+        self,
+        offset_ms: float = 0.0,
+        drift_ppm: float = 0.0,
+        resolution_ms: float = 0.001,
+    ) -> None:
+        if resolution_ms <= 0:
+            raise ValueError(f"resolution_ms must be > 0, got {resolution_ms}")
+        self.offset_ms = float(offset_ms)
+        self.drift_ppm = float(drift_ppm)
+        self.resolution_ms = float(resolution_ms)
+
+    # ------------------------------------------------------------------
+    def local_time(self, global_time: float) -> float:
+        """The local clock reading at global simulated time ``global_time``."""
+        drifted = global_time * (1.0 + self.drift_ppm * 1e-6)
+        raw = drifted + self.offset_ms
+        return math.floor(raw / self.resolution_ms) * self.resolution_ms
+
+    def global_time(self, local_time: float) -> float:
+        """Invert :meth:`local_time` (ignoring the reading resolution)."""
+        return (local_time - self.offset_ms) / (1.0 + self.drift_ppm * 1e-6)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def synchronized(
+        rng: np.random.Generator,
+        precision_ms: float,
+        drift_ppm: float,
+        resolution_ms: float,
+    ) -> "HostClock":
+        """Draw a clock whose offset lies within ``±precision_ms``.
+
+        This models the residual error left by the NTP daemon after
+        synchronisation (§4: ±50 µs).
+        """
+        offset = float(rng.uniform(-precision_ms, precision_ms))
+        drift = float(rng.uniform(-drift_ppm, drift_ppm))
+        return HostClock(offset_ms=offset, drift_ppm=drift, resolution_ms=resolution_ms)
+
+    def __repr__(self) -> str:
+        return (
+            f"HostClock(offset={self.offset_ms * 1000:.1f}us, "
+            f"drift={self.drift_ppm:.1f}ppm, resolution={self.resolution_ms}ms)"
+        )

@@ -1,0 +1,119 @@
+"""The simulated cluster: hosts, hub, transport and processes.
+
+:class:`Cluster` is the facade used by experiments: it builds the simulator,
+the hosts, the shared Ethernet hub and the transport from a
+:class:`~repro.cluster.config.ClusterConfig`, creates
+:class:`~repro.cluster.neko.NekoProcess` instances from protocol-layer
+factories, and runs the simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.des.simulator import Simulator
+from repro.cluster.config import ClusterConfig
+from repro.cluster.ethernet import EthernetHub
+from repro.cluster.host import Host
+from repro.cluster.neko import NekoProcess, ProtocolLayer
+from repro.cluster.tracing import MessageTrace
+from repro.cluster.transport import Transport
+
+#: A layer factory receives ``(simulator, process_id)`` and returns the
+#: protocol stack for that process, ordered top to bottom.
+LayerStackFactory = Callable[[Simulator, int], Sequence[ProtocolLayer]]
+
+
+class Cluster:
+    """A complete simulated cluster.
+
+    Parameters
+    ----------
+    config:
+        The cluster configuration (process count, network parameters,
+        scheduler parameters, seed).
+
+    Examples
+    --------
+    >>> from repro.cluster import Cluster, ClusterConfig
+    >>> cluster = Cluster(ClusterConfig(n_processes=3, seed=1))
+    >>> len(cluster.hosts)
+    3
+    """
+
+    def __init__(self, config: ClusterConfig) -> None:
+        self.config = config
+        self.sim = Simulator(seed=config.seed)
+        self.trace = MessageTrace()
+        self.hosts: List[Host] = [
+            Host(self.sim, index, config) for index in range(config.n_processes)
+        ]
+        self.hub = EthernetHub(self.sim, config.network)
+        self.transport = Transport(
+            self.sim, config, self.hosts, self.hub, trace=self.trace
+        )
+        self.processes: List[NekoProcess] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def create_processes(self, stack_factory: LayerStackFactory) -> List[NekoProcess]:
+        """Create one process per host using ``stack_factory``.
+
+        The factory is called once per process id and must return the
+        protocol layers top to bottom.
+        """
+        if self.processes:
+            raise RuntimeError("processes have already been created for this cluster")
+        for process_id in range(self.config.n_processes):
+            layers = list(stack_factory(self.sim, process_id))
+            process = NekoProcess(
+                sim=self.sim,
+                process_id=process_id,
+                host=self.hosts[process_id],
+                transport=self.transport,
+                layers=layers,
+                n_processes=self.config.n_processes,
+            )
+            self.processes.append(process)
+        return list(self.processes)
+
+    def crash_process(self, process_id: int) -> None:
+        """Crash a process (and its host) immediately."""
+        self.hosts[process_id].crash()
+        if process_id < len(self.processes):
+            self.processes[process_id].crash()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def start_all(self) -> None:
+        """Start every (non-crashed) process."""
+        for process in self.processes:
+            process.start()
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run the simulation; returns the final simulation time."""
+        return self.sim.run(until=until, max_events=max_events)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_processes(self) -> int:
+        """Number of processes in the cluster."""
+        return self.config.n_processes
+
+    def correct_processes(self) -> List[int]:
+        """Ids of the processes that have not crashed."""
+        return [host.index for host in self.hosts if not host.crashed]
+
+    def process(self, process_id: int) -> NekoProcess:
+        """The process with the given id."""
+        return self.processes[process_id]
+
+    def __repr__(self) -> str:
+        return (
+            f"Cluster(n={self.config.n_processes}, "
+            f"processes={len(self.processes)}, now={self.sim.now:.3f}ms)"
+        )

@@ -1,0 +1,166 @@
+"""Configuration of the simulated cluster.
+
+All times are in **milliseconds**, matching the unit used throughout the
+paper's figures.  The default values are calibrated so that the end-to-end
+delay of a ~100-byte message reproduces the bi-modal distribution the paper
+measured (§5.1): most messages take 0.10-0.13 ms, a ~20% tail takes
+0.145-0.35 ms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping
+
+
+@dataclass(frozen=True)
+class NetworkParameters:
+    """Parameters of the Ethernet hub and of the per-message host processing.
+
+    Attributes
+    ----------
+    bandwidth_mbps:
+        Raw medium bandwidth in megabits per second (100 for the paper's
+        100 Base-TX hub).
+    frame_overhead_bytes:
+        Per-frame overhead added to the payload size: Ethernet preamble,
+        header, CRC, inter-frame gap and the TCP/IP headers (which on the
+        wire are part of the frame).
+    hub_latency_ms:
+        Fixed store-and-forward / repeater latency of the hub per frame.
+    cpu_send_ms:
+        CPU time consumed on the sending host per message (network
+        controller + protocol stack + Java serialisation).  Corresponds to
+        the paper's ``t_send``.
+    cpu_receive_ms:
+        CPU time consumed on the receiving host per message (``t_receive``).
+    stack_latency_fast_low_ms / stack_latency_fast_high_ms:
+        Bounds of the "fast path" protocol-stack latency (interrupt
+        handling, kernel-to-user wakeup) which is added to the wire time but
+        does not occupy the CPU resource.
+    stack_latency_slow_low_ms / stack_latency_slow_high_ms:
+        Bounds of the occasional "slow path" latency (scheduler interference,
+        interrupt coalescing).
+    stack_slow_probability:
+        Probability of hitting the slow path; the default 0.2 mirrors the
+        20% second mode of the paper's fit.
+    """
+
+    bandwidth_mbps: float = 100.0
+    frame_overhead_bytes: int = 58
+    hub_latency_ms: float = 0.002
+    cpu_send_ms: float = 0.060
+    cpu_receive_ms: float = 0.100
+    stack_latency_fast_low_ms: float = 0.020
+    stack_latency_fast_high_ms: float = 0.045
+    stack_latency_slow_low_ms: float = 0.060
+    stack_latency_slow_high_ms: float = 0.220
+    stack_slow_probability: float = 0.2
+
+    def frame_time_ms(self, payload_bytes: int) -> float:
+        """Time a frame with ``payload_bytes`` of payload occupies the medium."""
+        total_bits = (payload_bytes + self.frame_overhead_bytes) * 8
+        return total_bits / (self.bandwidth_mbps * 1000.0)
+
+
+@dataclass(frozen=True)
+class SchedulerParameters:
+    """Operating-system scheduling effects applied to timers and threads.
+
+    The paper attributes a measurement artefact to the Linux 2.2 scheduler's
+    10 ms basic time unit (§5.4): a sleeping failure-detector thread wakes up
+    only at a scheduler tick, so a nominal sleep of ``Th`` lasts up to one
+    quantum longer.  These parameters control that model.
+
+    Attributes
+    ----------
+    quantum_ms:
+        The scheduler tick / time slice (10 ms for the paper's kernel).
+    timer_granularity_ms:
+        Granularity to which sleep durations are rounded up (one jiffy).
+    wakeup_jitter_ms:
+        Mean of the exponential jitter added to every timer wake-up
+        (dispatch latency).
+    preemption_probability:
+        Probability that a timer wake-up is further delayed by a fraction of
+        a quantum because another thread holds the CPU.
+    preemption_max_fraction:
+        Maximum fraction of a quantum by which a preempted wake-up is
+        delayed.
+    """
+
+    quantum_ms: float = 10.0
+    timer_granularity_ms: float = 1.0
+    wakeup_jitter_ms: float = 0.3
+    preemption_probability: float = 0.15
+    preemption_max_fraction: float = 1.0
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Full configuration of a simulated cluster run.
+
+    Attributes
+    ----------
+    n_processes:
+        Number of consensus processes (one per host, as in the paper).
+    message_size_bytes:
+        Typical application message size ("around 100 bytes", §2.5).
+    heartbeat_size_bytes:
+        Size of a failure-detector heartbeat message.
+    clock_sync_precision_ms:
+        Half-width of the NTP synchronisation error (±50 µs in §4).
+    clock_drift_ppm:
+        Relative clock drift of each host in parts per million.
+    clock_resolution_ms:
+        Clock reading granularity (the 1 µs native clock of §4).
+    network:
+        Network and host-processing parameters.
+    scheduler:
+        Operating-system scheduling parameters.
+    seed:
+        Master seed for all random streams of the run.
+    """
+
+    n_processes: int = 3
+    message_size_bytes: int = 100
+    heartbeat_size_bytes: int = 60
+    clock_sync_precision_ms: float = 0.05
+    clock_drift_ppm: float = 20.0
+    clock_resolution_ms: float = 0.001
+    network: NetworkParameters = field(default_factory=NetworkParameters)
+    scheduler: SchedulerParameters = field(default_factory=SchedulerParameters)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_processes < 1:
+            raise ValueError(f"n_processes must be >= 1, got {self.n_processes}")
+        if self.message_size_bytes <= 0:
+            raise ValueError("message_size_bytes must be > 0")
+
+    def with_processes(self, n_processes: int) -> "ClusterConfig":
+        """A copy of this configuration with a different process count."""
+        return replace(self, n_processes=n_processes)
+
+    def with_seed(self, seed: int) -> "ClusterConfig":
+        """A copy of this configuration with a different master seed."""
+        return replace(self, seed=seed)
+
+    def replace(self, **changes: object) -> "ClusterConfig":
+        """A copy with arbitrary fields replaced (``dataclasses.replace``)."""
+        return replace(self, **changes)
+
+    def as_dict(self) -> Mapping[str, object]:
+        """A flat dictionary of the scalar fields (for experiment reports)."""
+        return {
+            "n_processes": self.n_processes,
+            "message_size_bytes": self.message_size_bytes,
+            "heartbeat_size_bytes": self.heartbeat_size_bytes,
+            "clock_sync_precision_ms": self.clock_sync_precision_ms,
+            "clock_drift_ppm": self.clock_drift_ppm,
+            "seed": self.seed,
+            "cpu_send_ms": self.network.cpu_send_ms,
+            "cpu_receive_ms": self.network.cpu_receive_ms,
+            "bandwidth_mbps": self.network.bandwidth_mbps,
+            "scheduler_quantum_ms": self.scheduler.quantum_ms,
+        }

@@ -1,0 +1,172 @@
+"""The message transport: TCP over the shared Ethernet hub.
+
+The paper transmits all messages over TCP/IP connections established at the
+beginning of the test (§2.5) and decomposes the end-to-end delay of a
+message into seven steps (Fig. 3): sending-host CPU, shared network medium,
+receiving-host CPU, plus the queueing in front of each resource.  The
+transport reproduces exactly that pipeline:
+
+1. the message enters the sending host's CPU queue;
+2. it occupies the sending CPU for ``cpu_send_ms`` (serialisation, protocol
+   stack, network controller);
+3. it queues for the shared Ethernet medium;
+4. it occupies the medium for its frame time (plus hub latency);
+5. it incurs a protocol-stack latency on the receiving side (interrupt
+   handling, kernel-to-user wake-up) which does not occupy the CPU
+   resource but does take wall-clock time -- this is the component whose
+   bi-modal distribution dominates the measured end-to-end delay (§5.1);
+6. it occupies the receiving CPU for ``cpu_receive_ms``;
+7. it is delivered to the destination process.
+
+Broadcasts are expanded into unicast copies sent back-to-back in increasing
+process-id order, as the paper's implementation does (whereas the SAN model
+treats them as single messages -- see §5.3's discussion of the n = 3
+participant-crash anomaly).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.des.simulator import Simulator
+from repro.cluster.config import ClusterConfig
+from repro.cluster.ethernet import EthernetHub
+from repro.cluster.host import Host
+from repro.cluster.message import BROADCAST, Message
+from repro.cluster.tracing import MessageTrace
+
+DeliverCallback = Callable[[Message], None]
+
+
+class Transport:
+    """Reliable, ordered, connection-oriented message transport.
+
+    Parameters
+    ----------
+    sim:
+        The owning simulator.
+    config:
+        Cluster configuration (message sizes, CPU costs, ...).
+    hosts:
+        The cluster's hosts, indexed by process id.
+    hub:
+        The shared Ethernet segment.
+    trace:
+        Optional message trace receiving every delivery.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: ClusterConfig,
+        hosts: Sequence[Host],
+        hub: EthernetHub,
+        trace: Optional[MessageTrace] = None,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.hosts = list(hosts)
+        self.hub = hub
+        self.trace = trace
+        self._receivers: Dict[int, DeliverCallback] = {}
+        self._stack_rng = sim.random.stream("transport.stack")
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def register_receiver(self, process_id: int, callback: DeliverCallback) -> None:
+        """Register the upcall invoked when a message reaches ``process_id``."""
+        self._receivers[process_id] = callback
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, message: Message) -> None:
+        """Send ``message``; broadcasts are expanded into unicast copies."""
+        sender_host = self.hosts[message.sender]
+        if sender_host.crashed:
+            self.messages_dropped += 1
+            return
+        message.submitted_at = self.sim.now
+        if message.is_broadcast:
+            for destination in self._broadcast_destinations(message.sender):
+                copy = message.unicast_copy(destination)
+                copy.submitted_at = self.sim.now
+                self._send_unicast(copy)
+        else:
+            self._send_unicast(message)
+
+    def _broadcast_destinations(self, sender: int) -> list[int]:
+        return [pid for pid in range(len(self.hosts)) if pid != sender]
+
+    def _send_unicast(self, message: Message) -> None:
+        if not 0 <= message.destination < len(self.hosts):
+            raise ValueError(
+                f"message {message!r} addressed to unknown process "
+                f"{message.destination}"
+            )
+        self.messages_sent += 1
+        sender_host = self.hosts[message.sender]
+        sender_host.use_cpu(
+            self.config.network.cpu_send_ms, self._after_send_cpu, message
+        )
+
+    # ------------------------------------------------------------------
+    # Pipeline stages
+    # ------------------------------------------------------------------
+    def _after_send_cpu(self, message: Message) -> None:
+        if self.hosts[message.sender].crashed:
+            self.messages_dropped += 1
+            return
+        message.sent_at = self.sim.now
+        self.hub.transmit(message, self._after_wire)
+
+    def _after_wire(self, message: Message) -> None:
+        stack_latency = self._sample_stack_latency()
+        self.sim.schedule(stack_latency, self._after_stack, message)
+
+    def _after_stack(self, message: Message) -> None:
+        destination_host = self.hosts[message.destination]
+        if destination_host.crashed:
+            self.messages_dropped += 1
+            return
+        destination_host.use_cpu(
+            self.config.network.cpu_receive_ms, self._deliver, message
+        )
+
+    def _deliver(self, message: Message) -> None:
+        destination_host = self.hosts[message.destination]
+        if destination_host.crashed:
+            self.messages_dropped += 1
+            return
+        message.delivered_at = self.sim.now
+        self.messages_delivered += 1
+        if self.trace is not None:
+            self.trace.record_delivery(message)
+        receiver = self._receivers.get(message.destination)
+        if receiver is not None:
+            receiver(message)
+
+    # ------------------------------------------------------------------
+    def _sample_stack_latency(self) -> float:
+        params = self.config.network
+        if self._stack_rng.random() < params.stack_slow_probability:
+            return float(
+                self._stack_rng.uniform(
+                    params.stack_latency_slow_low_ms, params.stack_latency_slow_high_ms
+                )
+            )
+        return float(
+            self._stack_rng.uniform(
+                params.stack_latency_fast_low_ms, params.stack_latency_fast_high_ms
+            )
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Transport(sent={self.messages_sent}, delivered={self.messages_delivered}, "
+            f"dropped={self.messages_dropped})"
+        )

@@ -1,0 +1,47 @@
+"""Message vocabulary and round arithmetic of the ◇S consensus algorithm.
+
+In each round every message either flows from the participants to the
+coordinator (estimates, acknowledgements) or from the coordinator to the
+participants (proposal, decision) -- §2.1 of the paper.
+"""
+
+from __future__ import annotations
+
+#: A participant's current estimate, sent to the round's coordinator (phase 1).
+ESTIMATE = "estimate"
+#: The coordinator's proposal for the round, sent to all participants (phase 2).
+PROPOSE = "propose"
+#: Positive acknowledgement of a proposal (phase 3).
+ACK = "ack"
+#: Negative acknowledgement, sent when the coordinator is suspected (phase 3).
+NACK = "nack"
+#: The decision, reliably broadcast by the coordinator (phase 4).
+DECIDE = "decide"
+
+#: All consensus message types.
+CONSENSUS_MESSAGE_TYPES = (ESTIMATE, PROPOSE, ACK, NACK, DECIDE)
+
+
+def coordinator_of_round(round_number: int, n_processes: int) -> int:
+    """The coordinator of a round (rotating-coordinator paradigm).
+
+    Rounds are numbered from 1; process ``p_i`` (0-based id ``i``) is the
+    coordinator of rounds ``k*n + i + 1``, i.e. process 0 coordinates round
+    1, process 1 coordinates round 2, and so on, wrapping around.
+    """
+    if round_number < 1:
+        raise ValueError(f"round_number must be >= 1, got {round_number}")
+    if n_processes < 1:
+        raise ValueError(f"n_processes must be >= 1, got {n_processes}")
+    return (round_number - 1) % n_processes
+
+
+def majority_of(n_processes: int) -> int:
+    """The smallest majority of ``n_processes`` (⌊n/2⌋ + 1).
+
+    The ◇S algorithm requires a majority of correct processes and waits for
+    messages from a majority in each round.
+    """
+    if n_processes < 1:
+        raise ValueError(f"n_processes must be >= 1, got {n_processes}")
+    return n_processes // 2 + 1

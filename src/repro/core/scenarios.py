@@ -1,0 +1,131 @@
+"""The classes of runs analyzed by the paper (§2.4).
+
+A :class:`Scenario` fixes the failure pattern and the failure-detector
+behaviour of an experiment:
+
+* **Class 1** -- all processes correct, failure detectors accurate (no
+  suspicions at all).
+* **Class 2** -- one process crashed from the beginning; detectors complete
+  and accurate (the crashed process is suspected forever, correct processes
+  never).  Two sub-cases: the first coordinator crashed, or a participant
+  crashed.
+* **Class 3** -- all processes correct, but the heartbeat failure detector
+  (timeout ``T``, period ``Th = 0.7 T`` by default) produces wrong
+  suspicions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+class RunClass(enum.Enum):
+    """The three classes of runs of §2.4."""
+
+    NO_FAILURES = 1
+    CRASH = 2
+    WRONG_SUSPICIONS = 3
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A fully specified failure/suspicion scenario.
+
+    Attributes
+    ----------
+    run_class:
+        Which of the paper's three classes this scenario belongs to.
+    crashed:
+        Processes crashed before the start of the run (class 2 only).
+    fd_timeout_ms:
+        The heartbeat failure-detector timeout ``T`` (class 3 only).
+    fd_heartbeat_period_ms:
+        The heartbeat period ``Th``; defaults to ``0.7 * T`` as in §5.4.
+    description:
+        Human-readable label used in reports.
+    """
+
+    run_class: RunClass
+    crashed: Tuple[int, ...] = ()
+    fd_timeout_ms: Optional[float] = None
+    fd_heartbeat_period_ms: Optional[float] = None
+    description: str = field(default="")
+
+    def __post_init__(self) -> None:
+        if self.run_class is RunClass.CRASH and not self.crashed:
+            raise ValueError("a CRASH scenario needs at least one crashed process")
+        if self.run_class is not RunClass.CRASH and self.crashed:
+            raise ValueError("only CRASH scenarios may declare crashed processes")
+        if self.run_class is RunClass.WRONG_SUSPICIONS and self.fd_timeout_ms is None:
+            raise ValueError("a WRONG_SUSPICIONS scenario needs fd_timeout_ms")
+        if self.fd_timeout_ms is not None and self.fd_timeout_ms <= 0:
+            raise ValueError("fd_timeout_ms must be > 0")
+
+    # ------------------------------------------------------------------
+    # Factories for the paper's scenarios
+    # ------------------------------------------------------------------
+    @staticmethod
+    def no_failures() -> "Scenario":
+        """Class 1: no crashes, no suspicions (§2.4 item 1, §5.2)."""
+        return Scenario(
+            run_class=RunClass.NO_FAILURES,
+            description="no failures, no suspicions",
+        )
+
+    @staticmethod
+    def coordinator_crash() -> "Scenario":
+        """Class 2(i): the first coordinator (process 0) is initially crashed."""
+        return Scenario(
+            run_class=RunClass.CRASH,
+            crashed=(0,),
+            description="first coordinator initially crashed",
+        )
+
+    @staticmethod
+    def participant_crash(process_id: int = 1) -> "Scenario":
+        """Class 2(ii): a participant of the first round is initially crashed.
+
+        The paper crashes process 2 (1-based), i.e. process id 1 here.
+        """
+        if process_id == 0:
+            raise ValueError("process 0 is the first coordinator, not a participant")
+        return Scenario(
+            run_class=RunClass.CRASH,
+            crashed=(process_id,),
+            description=f"participant p{process_id + 1} initially crashed",
+        )
+
+    @staticmethod
+    def wrong_suspicions(
+        timeout_ms: float, heartbeat_period_ms: Optional[float] = None
+    ) -> "Scenario":
+        """Class 3: correct processes, wrong suspicions from the heartbeat FD."""
+        return Scenario(
+            run_class=RunClass.WRONG_SUSPICIONS,
+            fd_timeout_ms=timeout_ms,
+            fd_heartbeat_period_ms=heartbeat_period_ms,
+            description=f"wrong suspicions, T={timeout_ms} ms",
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def heartbeat_period_ms(self) -> Optional[float]:
+        """The effective heartbeat period (``0.7 T`` unless overridden)."""
+        if self.fd_timeout_ms is None:
+            return None
+        if self.fd_heartbeat_period_ms is not None:
+            return self.fd_heartbeat_period_ms
+        return 0.7 * self.fd_timeout_ms
+
+    @property
+    def uses_heartbeat_fd(self) -> bool:
+        """``True`` if this scenario runs the real heartbeat failure detector."""
+        return self.run_class is RunClass.WRONG_SUSPICIONS
+
+    def label(self) -> str:
+        """A short label for tables and figures."""
+        if self.description:
+            return self.description
+        return self.run_class.name.lower()

@@ -1,0 +1,112 @@
+"""Validation of the SAN model against measurements (§5.2-§5.4).
+
+The paper validates "the adequacy and the usability of the SAN model by
+comparing experimental results with those obtained from the model".  This
+module quantifies that comparison: relative error of the mean latencies,
+overlap of confidence intervals, and Kolmogorov-Smirnov distance between the
+latency distributions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.stats.cdf import EmpiricalCDF
+from repro.stats.descriptive import ConfidenceInterval, confidence_interval
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Comparison of one measured and one simulated latency sample."""
+
+    measured_mean_ms: float
+    simulated_mean_ms: float
+    relative_error: float
+    measured_interval: ConfidenceInterval
+    simulated_interval: ConfidenceInterval
+    intervals_overlap: bool
+    ks_distance: float
+    label: str = ""
+
+    @property
+    def within(self) -> float:
+        """Alias of :attr:`relative_error` (kept for readable assertions)."""
+        return self.relative_error
+
+    def agrees_within(self, tolerance: float) -> bool:
+        """``True`` if the relative error of the means is below ``tolerance``."""
+        return self.relative_error <= tolerance
+
+    def __str__(self) -> str:
+        return (
+            f"{self.label or 'validation'}: measured {self.measured_mean_ms:.3f} ms, "
+            f"simulated {self.simulated_mean_ms:.3f} ms "
+            f"({self.relative_error:.1%} relative error, "
+            f"KS={self.ks_distance:.3f}, "
+            f"CI overlap={'yes' if self.intervals_overlap else 'no'})"
+        )
+
+
+def compare_results(
+    measured_latencies: Sequence[float],
+    simulated_latencies: Sequence[float],
+    confidence: float = 0.90,
+    label: str = "",
+) -> ValidationReport:
+    """Compare a measured and a simulated latency sample.
+
+    Parameters
+    ----------
+    measured_latencies, simulated_latencies:
+        The two latency samples (milliseconds).
+    confidence:
+        Confidence level for the reported intervals.
+    label:
+        Optional label identifying the scenario in reports.
+    """
+    if not measured_latencies or not simulated_latencies:
+        raise ValueError("both samples must be non-empty")
+    measured_interval = confidence_interval(measured_latencies, confidence)
+    simulated_interval = confidence_interval(simulated_latencies, confidence)
+    measured_mean = measured_interval.mean
+    simulated_mean = simulated_interval.mean
+    if measured_mean == 0:
+        relative_error = math.inf if simulated_mean != 0 else 0.0
+    else:
+        relative_error = abs(simulated_mean - measured_mean) / abs(measured_mean)
+    ks = EmpiricalCDF(measured_latencies).ks_distance(EmpiricalCDF(simulated_latencies))
+    return ValidationReport(
+        measured_mean_ms=measured_mean,
+        simulated_mean_ms=simulated_mean,
+        relative_error=relative_error,
+        measured_interval=measured_interval,
+        simulated_interval=simulated_interval,
+        intervals_overlap=measured_interval.overlaps(simulated_interval),
+        ks_distance=ks,
+        label=label,
+    )
+
+
+def ordering_holds(values: Sequence[float], decreasing: bool = False) -> bool:
+    """``True`` if ``values`` is monotone (used for shape checks in tests).
+
+    The paper's headline *shapes* are orderings -- latency grows with n,
+    coordinator crash is slower than no crash, latency falls as the FD
+    timeout grows -- and this helper expresses them uniformly.
+    """
+    pairs = zip(values, list(values)[1:])
+    if decreasing:
+        return all(a >= b for a, b in pairs)
+    return all(a <= b for a, b in pairs)
+
+
+def crossover_point(
+    xs: Sequence[float], ys: Sequence[float], threshold: float
+) -> Optional[float]:
+    """The first x at which y drops below ``threshold`` (for Fig. 9 shape checks)."""
+    for x, y in zip(xs, ys):
+        if y <= threshold:
+            return x
+    return None

@@ -1,0 +1,156 @@
+"""FIFO resources with deterministic service order.
+
+The paper's network model (§3.3) decomposes the end-to-end delay of a
+message into the use of three resources: the sender's CPU, the shared
+network medium and the receiver's CPU.  :class:`Resource` models exactly
+that kind of single-queue, fixed-capacity server: requests are served in
+arrival order, each holding one unit of capacity for a caller-specified
+service time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Optional
+
+from repro.des.simulator import Simulator
+
+
+@dataclass
+class ResourceStats:
+    """Aggregate utilisation statistics for a :class:`Resource`."""
+
+    requests: int = 0
+    completed: int = 0
+    busy_time: float = 0.0
+    total_wait: float = 0.0
+    max_queue_length: int = 0
+
+    def mean_wait(self) -> float:
+        """Mean time a request spent queued before service began."""
+        if self.completed == 0:
+            return 0.0
+        return self.total_wait / self.completed
+
+    def utilization(self, elapsed: float, capacity: int = 1) -> float:
+        """Fraction of ``elapsed`` time the resource spent busy."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / (elapsed * capacity))
+
+
+@dataclass
+class Request:
+    """A single pending or in-service request on a :class:`Resource`."""
+
+    service_time: float
+    callback: Callable[..., Any]
+    args: tuple[Any, ...]
+    submitted_at: float
+    started_at: Optional[float] = None
+    label: str = ""
+    cancelled: bool = field(default=False)
+
+    def cancel(self) -> None:
+        """Cancel the request if it has not started service yet.
+
+        Cancelling an in-service request has no effect (the service completes
+        normally); cancelling a queued request removes it from the queue the
+        next time the resource looks for work.
+        """
+        if self.started_at is None:
+            self.cancelled = True
+
+
+class Resource:
+    """A fixed-capacity FIFO server.
+
+    Parameters
+    ----------
+    sim:
+        The owning simulator.
+    name:
+        Human-readable name used in traces and error messages.
+    capacity:
+        Number of requests that may be in service simultaneously.
+    """
+
+    def __init__(self, sim: Simulator, name: str, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._queue: Deque[Request] = deque()
+        self._in_service = 0
+        self.stats = ResourceStats()
+
+    # ------------------------------------------------------------------
+    @property
+    def busy(self) -> bool:
+        """``True`` while at least one request is in service."""
+        return self._in_service > 0
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting (not yet in service)."""
+        return sum(1 for request in self._queue if not request.cancelled)
+
+    @property
+    def in_service(self) -> int:
+        """Number of requests currently being served."""
+        return self._in_service
+
+    # ------------------------------------------------------------------
+    def request(
+        self,
+        service_time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        label: str = "",
+    ) -> Request:
+        """Queue a request for ``service_time`` units of this resource.
+
+        ``callback(*args)`` is invoked when the service completes.  The
+        request starts immediately if capacity is available, otherwise it
+        waits in FIFO order.
+        """
+        if service_time < 0:
+            raise ValueError(f"service_time must be >= 0, got {service_time}")
+        request = Request(
+            service_time=float(service_time),
+            callback=callback,
+            args=args,
+            submitted_at=self.sim.now,
+            label=label,
+        )
+        self.stats.requests += 1
+        self._queue.append(request)
+        self.stats.max_queue_length = max(self.stats.max_queue_length, len(self._queue))
+        self._dispatch()
+        return request
+
+    # ------------------------------------------------------------------
+    def _dispatch(self) -> None:
+        while self._in_service < self.capacity and self._queue:
+            request = self._queue.popleft()
+            if request.cancelled:
+                continue
+            request.started_at = self.sim.now
+            self.stats.total_wait += request.started_at - request.submitted_at
+            self._in_service += 1
+            self.sim.schedule(request.service_time, self._complete, request)
+
+    def _complete(self, request: Request) -> None:
+        self._in_service -= 1
+        self.stats.completed += 1
+        self.stats.busy_time += request.service_time
+        request.callback(*request.args)
+        self._dispatch()
+
+    def __repr__(self) -> str:
+        return (
+            f"Resource(name={self.name!r}, capacity={self.capacity}, "
+            f"in_service={self._in_service}, queued={self.queue_length})"
+        )

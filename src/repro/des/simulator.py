@@ -1,0 +1,215 @@
+"""The discrete-event simulation loop.
+
+The :class:`Simulator` owns a virtual clock and a priority queue of
+:class:`~repro.des.event.Event` objects.  Time only advances when the next
+event is dequeued; callbacks run instantaneously in virtual time and may
+schedule further events.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from repro.des.event import Event
+from repro.des.random import RandomStreams
+
+
+class SimulationError(RuntimeError):
+    """Raised on misuse of the simulation kernel (e.g. scheduling in the past)."""
+
+
+class Simulator:
+    """Event-driven simulator with a floating-point virtual clock.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for the simulator's :class:`~repro.des.random.RandomStreams`.
+        Two simulators constructed with the same seed and fed the same
+        sequence of scheduling calls produce identical trajectories.
+    time_unit:
+        Purely informational label for the unit of the clock (the repository
+        uses milliseconds throughout, matching the paper's figures).
+    """
+
+    def __init__(self, seed: Optional[int] = None, time_unit: str = "ms") -> None:
+        self._now = 0.0
+        self._queue: list[Event] = []
+        self._seq = 0
+        self._running = False
+        self._stopped = False
+        self._events_processed = 0
+        self.time_unit = time_unit
+        self.random = RandomStreams(seed)
+        self._trace_hooks: list[Callable[[Event], None]] = []
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events whose callbacks have been executed."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events currently scheduled (including cancelled ones
+        that have not yet been discarded by the event loop)."""
+        return sum(1 for event in self._queue if event.pending)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` time units from now."""
+        return self.schedule_at(self._now + delay, callback, *args, priority=priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback(*args)`` to run at absolute time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event in the past: {time} < now {self._now}"
+            )
+        event = Event(time, priority, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def call_now(
+        self, callback: Callable[..., Any], *args: Any, priority: int = 0
+    ) -> Event:
+        """Schedule ``callback`` at the current time (after pending same-time events)."""
+        return self.schedule_at(self._now, callback, *args, priority=priority)
+
+    def cancel(self, event: Event) -> bool:
+        """Cancel a previously scheduled event.  Returns ``True`` on success."""
+        return event.cancel()
+
+    def add_trace_hook(self, hook: Callable[[Event], None]) -> None:
+        """Register a hook called with every event just before it fires."""
+        self._trace_hooks.append(hook)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def peek(self) -> Optional[float]:
+        """Time of the next pending event, or ``None`` if the queue is empty."""
+        self._discard_cancelled()
+        if not self._queue:
+            return None
+        return self._queue[0].time
+
+    def step(self) -> bool:
+        """Execute the next pending event.
+
+        Returns
+        -------
+        bool
+            ``True`` if an event was executed, ``False`` if the queue was
+            empty.
+        """
+        self._discard_cancelled()
+        if not self._queue:
+            return False
+        event = heapq.heappop(self._queue)
+        self._now = event.time
+        event.state = event.state.__class__.FIRED
+        self._events_processed += 1
+        for hook in self._trace_hooks:
+            hook(event)
+        event.callback(*event.args)
+        return True
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> float:
+        """Run the event loop.
+
+        Parameters
+        ----------
+        until:
+            Stop once the clock would advance beyond this time.  The clock is
+            left at ``until`` (or at the time of the last executed event if the
+            queue drains earlier).
+        max_events:
+            Safety valve: stop after this many events have been executed in
+            this call.
+
+        Returns
+        -------
+        float
+            The simulation time at which the run stopped.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run())")
+        self._running = True
+        self._stopped = False
+        executed = 0
+        try:
+            while not self._stopped:
+                if max_events is not None and executed >= max_events:
+                    break
+                next_time = self.peek()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                self.step()
+                executed += 1
+            else:
+                # Stopped via stop(): leave the clock where it is.
+                pass
+            if until is not None and not self._stopped and self.peek() is None:
+                self._now = max(self._now, until)
+        finally:
+            self._running = False
+        return self._now
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return after the current event."""
+        self._stopped = True
+
+    def reset(self) -> None:
+        """Discard all pending events and rewind the clock to zero.
+
+        The random streams are *not* reset; create a new simulator for a
+        statistically independent replication.
+        """
+        self._queue.clear()
+        self._now = 0.0
+        self._stopped = False
+        self._events_processed = 0
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _discard_cancelled(self) -> None:
+        while self._queue and not self._queue[0].pending:
+            heapq.heappop(self._queue)
+
+    def __repr__(self) -> str:
+        return (
+            f"Simulator(now={self._now!r}, pending={self.pending_events}, "
+            f"processed={self._events_processed})"
+        )

@@ -1,0 +1,57 @@
+"""Per-figure and per-table experiment generators.
+
+Each module regenerates the data behind one element of the paper's
+evaluation (§5):
+
+==================  ========================================================
+Module              Paper element
+==================  ========================================================
+``figure6``         Fig. 6 -- end-to-end delay CDFs of unicast / broadcast
+                    messages
+``figure7``         Fig. 7(a) -- latency CDFs for n = 3..11 (measurements);
+                    Fig. 7(b) -- simulated CDFs for a sweep of ``t_send``
+                    vs. the measured CDF (calibration);
+                    §5.2 -- mean latencies, measurement vs. simulation
+``table1``          Table 1 -- latency under crash scenarios
+``figure8``         Fig. 8(a)/(b) -- failure-detector QoS (T_MR, T_M) vs.
+                    the timeout T
+``figure9``         Fig. 9(a)/(b) -- latency vs. the timeout T,
+                    measurements and SAN simulations (det. / exp. FD model)
+==================  ========================================================
+
+Every generator takes an :class:`~repro.experiments.settings.ExperimentSettings`
+controlling its scale, so the same code serves quick benchmark runs and
+full paper-scale reproductions (set ``REPRO_EXPERIMENT_SCALE=full``).
+"""
+
+from repro.experiments.figure6 import Figure6Result, run_figure6
+from repro.experiments.figure7 import (
+    Figure7aResult,
+    Figure7bResult,
+    LatencyMeansResult,
+    run_figure7a,
+    run_figure7b,
+    run_latency_means,
+)
+from repro.experiments.figure8 import Figure8Result, run_figure8
+from repro.experiments.figure9 import Figure9Result, run_figure9
+from repro.experiments.settings import ExperimentSettings
+from repro.experiments.table1 import Table1Result, run_table1
+
+__all__ = [
+    "ExperimentSettings",
+    "Figure6Result",
+    "Figure7aResult",
+    "Figure7bResult",
+    "Figure8Result",
+    "Figure9Result",
+    "LatencyMeansResult",
+    "Table1Result",
+    "run_figure6",
+    "run_figure7a",
+    "run_figure7b",
+    "run_figure8",
+    "run_figure9",
+    "run_latency_means",
+    "run_table1",
+]

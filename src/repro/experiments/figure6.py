@@ -1,0 +1,104 @@
+"""Figure 6: end-to-end delay of unicast and broadcast messages.
+
+The paper measures the cumulative distribution of the end-to-end delay of
+unicast messages and of broadcast messages to 3 and to 5 destinations
+(averaged over the destinations), and fits the unicast curve with the
+bi-modal uniform distribution used as the SAN model's ``t_net`` input
+(§5.1).  This generator reproduces the micro-benchmark on the simulated
+cluster and reports both the CDFs and the fit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.measurement import measure_end_to_end_delays
+from repro.experiments.settings import ExperimentSettings
+from repro.sanmodels.parameters import BimodalFit, SANParameters
+from repro.stats.cdf import EmpiricalCDF
+
+
+@dataclass
+class Figure6Result:
+    """End-to-end delay distributions (the series of Figure 6)."""
+
+    unicast_delays: List[float]
+    broadcast_delays_by_n: Dict[int, List[float]]
+    unicast_fit: BimodalFit
+
+    def unicast_cdf(self) -> EmpiricalCDF:
+        """CDF of the unicast end-to-end delays."""
+        return EmpiricalCDF(self.unicast_delays)
+
+    def broadcast_cdf(self, n_processes: int) -> EmpiricalCDF:
+        """CDF of the broadcast-to-(n-1) end-to-end delays."""
+        return EmpiricalCDF(self.broadcast_delays_by_n[n_processes])
+
+    def san_parameters(self, t_send_ms: float = 0.025) -> SANParameters:
+        """SAN network parameters derived from these measurements (§5.1)."""
+        return SANParameters.from_measured_delays(
+            unicast_delays=self.unicast_delays,
+            broadcast_delays_by_n={
+                n: delays for n, delays in self.broadcast_delays_by_n.items()
+            },
+            t_send_ms=t_send_ms,
+        )
+
+    def rows(self, probabilities: Sequence[float] = (0.1, 0.25, 0.5, 0.75, 0.9, 0.99)) -> List[Tuple[str, List[float]]]:
+        """Quantile rows suitable for a textual rendering of Figure 6."""
+        rows: List[Tuple[str, List[float]]] = [
+            ("unicast", [self.unicast_cdf().quantile(p) for p in probabilities])
+        ]
+        for n, delays in sorted(self.broadcast_delays_by_n.items()):
+            cdf = EmpiricalCDF(delays)
+            rows.append((f"broadcast to {n}", [cdf.quantile(p) for p in probabilities]))
+        return rows
+
+
+def run_figure6(
+    settings: ExperimentSettings | None = None,
+    broadcast_process_counts: Sequence[int] = (3, 5),
+) -> Figure6Result:
+    """Run the Figure 6 micro-benchmark.
+
+    Parameters
+    ----------
+    settings:
+        Experiment scale (defaults to the environment-selected preset).
+    broadcast_process_counts:
+        Cluster sizes for which the broadcast delay is measured (the paper
+        uses 3 and 5).
+    """
+    settings = settings or ExperimentSettings.from_environment()
+    broadcast_delays: Dict[int, List[float]] = {}
+    unicast_delays: List[float] = []
+    for index, n in enumerate(broadcast_process_counts):
+        config = settings.cluster_for(n, settings.point_seed(6, index))
+        result = measure_end_to_end_delays(config, probes=settings.delay_probes)
+        broadcast_delays[n] = result.broadcast_delays
+        # The unicast delay does not depend on n; pool the probes from all
+        # cluster sizes to smooth the CDF (the paper plots a single curve).
+        unicast_delays.extend(result.unicast_delays)
+    fit = BimodalFit.from_samples(unicast_delays)
+    return Figure6Result(
+        unicast_delays=unicast_delays,
+        broadcast_delays_by_n=broadcast_delays,
+        unicast_fit=fit,
+    )
+
+
+def format_figure6(result: Figure6Result) -> str:
+    """Render Figure 6 as a quantile table (one row per curve)."""
+    probabilities = (0.1, 0.25, 0.5, 0.75, 0.9, 0.99)
+    header = "curve              " + "  ".join(f"p{int(p * 100):02d}" for p in probabilities)
+    lines = [header]
+    for label, quantiles in result.rows(probabilities):
+        values = "  ".join(f"{q:0.3f}" for q in quantiles)
+        lines.append(f"{label:<18} {values}")
+    lines.append(
+        "unicast bi-modal fit: "
+        f"U[{result.unicast_fit.low1:.3f}, {result.unicast_fit.high1:.3f}] w.p. {result.unicast_fit.p1:.2f}, "
+        f"U[{result.unicast_fit.low2:.3f}, {result.unicast_fit.high2:.3f}] w.p. {1 - result.unicast_fit.p1:.2f}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,227 @@
+"""Figure 7 and the §5.2 mean latencies: runs with no failures, no suspicions.
+
+Three related generators:
+
+* :func:`run_figure7a` -- the measured latency CDFs for n = 3, 5, 7, 9, 11
+  (5000 executions each in the paper);
+* :func:`run_figure7b` -- the calibration plot: simulated latency CDFs for a
+  sweep of ``t_send`` values (with the end-to-end delay held fixed) against
+  the measured CDF for n = 5, from which the calibrated ``t_send`` is
+  chosen;
+* :func:`run_latency_means` -- the mean latencies (measurement for every n,
+  SAN simulation for n = 3 and 5) quoted in the §5.2 text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.calibration import CalibrationResult, calibrate_t_send
+from repro.core.measurement import MeasurementConfig, MeasurementRunner
+from repro.core.scenarios import Scenario
+from repro.core.simulation import SimulationConfig, SimulationRunner
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.settings import ExperimentSettings
+from repro.sanmodels.parameters import SANParameters
+from repro.stats.cdf import EmpiricalCDF
+from repro.stats.descriptive import ConfidenceInterval, confidence_interval
+
+
+# ----------------------------------------------------------------------
+# Figure 7(a): measured latency CDFs
+# ----------------------------------------------------------------------
+@dataclass
+class Figure7aResult:
+    """Measured latency distributions per process count."""
+
+    latencies_by_n: Dict[int, List[float]]
+
+    def cdf(self, n_processes: int) -> EmpiricalCDF:
+        """The latency CDF for one process count."""
+        return EmpiricalCDF(self.latencies_by_n[n_processes])
+
+    def mean(self, n_processes: int) -> float:
+        """Mean latency for one process count."""
+        values = self.latencies_by_n[n_processes]
+        return sum(values) / len(values)
+
+    def means(self) -> Dict[int, float]:
+        """Mean latency for every measured process count."""
+        return {n: self.mean(n) for n in sorted(self.latencies_by_n)}
+
+
+def measure_latencies(
+    settings: ExperimentSettings,
+    n_processes: int,
+    scenario: Scenario,
+    executions: int,
+    point_seed: int,
+    separation_ms: float = 10.0,
+    sequential: bool = False,
+    max_instance_time_ms: Optional[float] = None,
+) -> List[float]:
+    """Measure consensus latencies for one experiment point (shared helper)."""
+    config = MeasurementConfig(
+        cluster=settings.cluster_for(n_processes, point_seed),
+        scenario=scenario,
+        executions=executions,
+        separation_ms=separation_ms,
+        sequential=sequential,
+        max_instance_time_ms=max_instance_time_ms,
+    )
+    return MeasurementRunner(config).run().latencies_ms
+
+
+def run_figure7a(settings: ExperimentSettings | None = None) -> Figure7aResult:
+    """Measure the latency CDFs of Figure 7(a)."""
+    settings = settings or ExperimentSettings.from_environment()
+    latencies: Dict[int, List[float]] = {}
+    for index, n in enumerate(settings.measured_process_counts):
+        latencies[n] = measure_latencies(
+            settings,
+            n_processes=n,
+            scenario=Scenario.no_failures(),
+            executions=settings.executions,
+            point_seed=settings.point_seed(7, 1, index),
+        )
+    return Figure7aResult(latencies_by_n=latencies)
+
+
+# ----------------------------------------------------------------------
+# Figure 7(b): calibration of t_send
+# ----------------------------------------------------------------------
+@dataclass
+class Figure7bResult:
+    """Calibration data: measured CDF vs. simulated CDFs per t_send."""
+
+    n_processes: int
+    measured_latencies: List[float]
+    simulated_latencies_by_t_send: Dict[float, List[float]]
+    calibration: CalibrationResult
+    parameters: SANParameters
+
+    def measured_cdf(self) -> EmpiricalCDF:
+        """The measured latency CDF."""
+        return EmpiricalCDF(self.measured_latencies)
+
+    def simulated_cdf(self, t_send_ms: float) -> EmpiricalCDF:
+        """The simulated latency CDF for one candidate ``t_send``."""
+        return EmpiricalCDF(self.simulated_latencies_by_t_send[t_send_ms])
+
+    @property
+    def best_t_send_ms(self) -> float:
+        """The calibrated ``t_send`` (the paper settles on 0.025 ms)."""
+        return self.calibration.best_t_send_ms
+
+
+def run_figure7b(
+    settings: ExperimentSettings | None = None,
+    n_processes: int = 5,
+    measured_latencies: Optional[List[float]] = None,
+    parameters: Optional[SANParameters] = None,
+) -> Figure7bResult:
+    """Reproduce the Figure 7(b) calibration sweep.
+
+    ``measured_latencies`` and ``parameters`` may be supplied to reuse data
+    from a previous :func:`run_figure7a` / :func:`run_figure6` run; when
+    omitted, both are measured afresh.
+    """
+    settings = settings or ExperimentSettings.from_environment()
+    if measured_latencies is None:
+        measured_latencies = measure_latencies(
+            settings,
+            n_processes=n_processes,
+            scenario=Scenario.no_failures(),
+            executions=settings.executions,
+            point_seed=settings.point_seed(7, 2, n_processes),
+        )
+    if parameters is None:
+        parameters = run_figure6(settings).san_parameters()
+    calibration = calibrate_t_send(
+        measured_latencies=measured_latencies,
+        base_parameters=parameters,
+        n_processes=n_processes,
+        candidate_t_send_ms=settings.t_send_candidates_ms,
+        replications=settings.replications,
+        seed=settings.point_seed(7, 3),
+    )
+    simulated: Dict[float, List[float]] = {}
+    from repro.sanmodels.consensus_model import ConsensusSANExperiment
+
+    for index, t_send in enumerate(settings.t_send_candidates_ms):
+        experiment = ConsensusSANExperiment(
+            n_processes=n_processes,
+            parameters=parameters.with_t_send(t_send),
+            seed=settings.point_seed(7, 4, index),
+        )
+        simulated[float(t_send)] = experiment.run(
+            replications=settings.replications
+        ).latencies_ms
+    return Figure7bResult(
+        n_processes=n_processes,
+        measured_latencies=measured_latencies,
+        simulated_latencies_by_t_send=simulated,
+        calibration=calibration,
+        parameters=parameters,
+    )
+
+
+# ----------------------------------------------------------------------
+# §5.2 mean latencies
+# ----------------------------------------------------------------------
+@dataclass
+class LatencyMeansResult:
+    """Mean latencies with confidence intervals (measurement and simulation)."""
+
+    measured: Dict[int, ConfidenceInterval] = field(default_factory=dict)
+    simulated: Dict[int, ConfidenceInterval] = field(default_factory=dict)
+
+    def rows(self) -> List[tuple[int, float, Optional[float]]]:
+        """``(n, measured_mean, simulated_mean_or_None)`` rows, sorted by n."""
+        rows = []
+        for n in sorted(self.measured):
+            simulated = self.simulated.get(n)
+            rows.append(
+                (n, self.measured[n].mean, simulated.mean if simulated else None)
+            )
+        return rows
+
+
+def run_latency_means(
+    settings: ExperimentSettings | None = None,
+    figure7a: Optional[Figure7aResult] = None,
+    parameters: Optional[SANParameters] = None,
+    calibrated_t_send_ms: Optional[float] = None,
+) -> LatencyMeansResult:
+    """Compute the §5.2 mean-latency comparison (measurement vs. SAN)."""
+    settings = settings or ExperimentSettings.from_environment()
+    figure7a = figure7a or run_figure7a(settings)
+    if parameters is None:
+        parameters = run_figure6(settings).san_parameters()
+    if calibrated_t_send_ms is not None:
+        parameters = parameters.with_t_send(calibrated_t_send_ms)
+    result = LatencyMeansResult()
+    for n, latencies in figure7a.latencies_by_n.items():
+        result.measured[n] = confidence_interval(latencies)
+    for index, n in enumerate(settings.simulated_process_counts):
+        simulation = SimulationRunner(
+            SimulationConfig(
+                n_processes=n,
+                scenario=Scenario.no_failures(),
+                parameters=parameters,
+                replications=settings.replications,
+                seed=settings.point_seed(7, 5, index),
+            )
+        ).run()
+        result.simulated[n] = confidence_interval(simulation.latencies_ms)
+    return result
+
+
+def format_latency_means(result: LatencyMeansResult) -> str:
+    """Render the §5.2 means as a small table."""
+    lines = ["n   measured [ms]   simulated [ms]"]
+    for n, measured, simulated in result.rows():
+        simulated_text = f"{simulated:14.3f}" if simulated is not None else " " * 14
+        lines.append(f"{n:<3d} {measured:14.3f} {simulated_text}")
+    return "\n".join(lines)

@@ -1,0 +1,156 @@
+"""Figure 9: latency vs. the failure-detection timeout T (§5.4).
+
+Figure 9(a) plots the measured consensus latency against the timeout ``T``
+for n = 3..11: each curve starts very high (frequent wrong suspicions force
+extra rounds) and decreases to the no-suspicion latency as ``T`` grows.
+
+Figure 9(b) compares, for n = 3 and 5, the measurements against SAN
+simulations in which the failure detector is abstracted by its measured QoS
+metrics, with either deterministic or exponential state-sojourn
+distributions.  The paper's headline observation is that the SAN model
+matches the measurements when the QoS is good (large ``T``) but
+underestimates the latency when wrong suspicions are frequent, because it
+assumes the failure-detector modules to be mutually independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.scenarios import Scenario
+from repro.core.simulation import SimulationConfig, SimulationRunner
+from repro.experiments.figure8 import Figure8Point, Figure8Result, measure_class3_point
+from repro.experiments.settings import ExperimentSettings, scaled_timeouts
+from repro.sanmodels.fd_model import TransitionKind
+from repro.sanmodels.parameters import SANParameters
+
+#: The two FD sojourn-time distributions compared in Figure 9(b).
+FD_KINDS: Tuple[TransitionKind, ...] = ("deterministic", "exponential")
+
+
+@dataclass
+class Figure9Point:
+    """One (n, T) point of Figure 9."""
+
+    n_processes: int
+    timeout_ms: float
+    measured_latency_ms: float
+    simulated_latency_ms: Dict[str, float] = field(default_factory=dict)
+    undecided: int = 0
+
+    def simulated(self, kind: TransitionKind) -> Optional[float]:
+        """The simulated latency for one FD distribution kind, if computed."""
+        return self.simulated_latency_ms.get(kind)
+
+
+@dataclass
+class Figure9Result:
+    """The Figure 9 sweep."""
+
+    points: Dict[Tuple[int, float], Figure9Point] = field(default_factory=dict)
+
+    def timeouts(self, n_processes: int) -> List[float]:
+        """Timeouts measured for one process count, sorted."""
+        return sorted(t for (n, t) in self.points if n == n_processes)
+
+    def measured_series(self, n_processes: int) -> List[Tuple[float, float]]:
+        """The measured (T, latency) series of Figure 9(a)."""
+        return [
+            (t, self.points[(n_processes, t)].measured_latency_ms)
+            for t in self.timeouts(n_processes)
+        ]
+
+    def simulated_series(
+        self, n_processes: int, kind: TransitionKind
+    ) -> List[Tuple[float, float]]:
+        """The simulated (T, latency) series of Figure 9(b) for one FD kind."""
+        series = []
+        for t in self.timeouts(n_processes):
+            value = self.points[(n_processes, t)].simulated(kind)
+            if value is not None:
+                series.append((t, value))
+        return series
+
+
+def run_figure9(
+    settings: ExperimentSettings | None = None,
+    figure8: Optional[Figure8Result] = None,
+    parameters: Optional[SANParameters] = None,
+) -> Figure9Result:
+    """Run the Figure 9 sweep (measurements, plus SAN simulations for the
+    process counts in ``settings.simulated_process_counts``).
+
+    Passing a :class:`Figure8Result` reuses its per-point measurements (the
+    QoS estimation and the latency measurement come from the same runs, as
+    in the paper); otherwise the class-3 measurements are run afresh.
+    """
+    settings = settings or ExperimentSettings.from_environment()
+    parameters = parameters or SANParameters()
+    result = Figure9Result()
+    for n_index, n in enumerate(settings.class3_process_counts):
+        simulate = n in settings.simulated_process_counts
+        for t_index, timeout in enumerate(scaled_timeouts(settings.timeouts_ms, n)):
+            measurement = _measurement_point(settings, figure8, n, timeout, n_index, t_index)
+            latencies = measurement.latencies_ms
+            measured_latency = sum(latencies) / len(latencies) if latencies else float("nan")
+            point = Figure9Point(
+                n_processes=n,
+                timeout_ms=timeout,
+                measured_latency_ms=measured_latency,
+                undecided=measurement.undecided,
+            )
+            if simulate and measurement.qos is not None:
+                for kind in FD_KINDS:
+                    simulation = SimulationRunner(
+                        SimulationConfig(
+                            n_processes=n,
+                            scenario=Scenario.wrong_suspicions(timeout_ms=timeout),
+                            parameters=parameters,
+                            fd_qos=measurement.qos,
+                            fd_kind=kind,
+                            replications=settings.replications,
+                            seed=settings.point_seed(9, n_index, t_index, hash(kind) % 97),
+                        )
+                    ).run()
+                    point.simulated_latency_ms[kind] = simulation.mean_latency_ms
+            result.points[(n, timeout)] = point
+    return result
+
+
+def _measurement_point(
+    settings: ExperimentSettings,
+    figure8: Optional[Figure8Result],
+    n_processes: int,
+    timeout_ms: float,
+    n_index: int,
+    t_index: int,
+) -> Figure8Point:
+    if figure8 is not None and (n_processes, timeout_ms) in figure8.points:
+        return figure8.points[(n_processes, timeout_ms)]
+    return measure_class3_point(
+        settings,
+        n_processes=n_processes,
+        timeout_ms=timeout_ms,
+        point_seed=settings.point_seed(9, n_index, t_index),
+    )
+
+
+def format_figure9(result: Figure9Result) -> str:
+    """Render Figure 9 as a table: latency vs. T, measured and simulated."""
+    lines = ["Figure 9: latency [ms] vs. failure-detection timeout T [ms]"]
+    ns = sorted({n for (n, _t) in result.points})
+    for n in ns:
+        lines.append(f"n = {n}")
+        lines.append("   T      meas.   sim.det.   sim.exp.")
+        for t in result.timeouts(n):
+            point = result.points[(n, t)]
+            det = point.simulated("deterministic")
+            exp = point.simulated("exponential")
+            det_text = f"{det:9.3f}" if det is not None else "         "
+            exp_text = f"{exp:9.3f}" if exp is not None else "         "
+            lines.append(
+                f"{t:6.1f} {point.measured_latency_ms:9.3f}  {det_text}  {exp_text}"
+            )
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,149 @@
+"""Scale settings shared by all experiment generators.
+
+The paper's full experiments (5000 consensus executions per point, 20 x 1000
+executions per class-3 point) would take a long time on a pure-Python
+simulator, and the *shapes* the reproduction targets are already stable at a
+fraction of that scale.  :class:`ExperimentSettings` therefore defines three
+presets:
+
+* ``smoke``   -- minimal, for CI-style sanity runs (seconds);
+* ``quick``   -- the default used by the benchmark harness (tens of
+  seconds to a few minutes per figure);
+* ``full``    -- paper-scale executions for the patient (hours).
+
+Select a preset explicitly or through the ``REPRO_EXPERIMENT_SCALE``
+environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Sequence, Tuple
+
+from repro.cluster.config import ClusterConfig
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Knobs shared by every experiment generator.
+
+    Attributes
+    ----------
+    executions:
+        Consensus executions per measurement point (class 1 / class 2).
+    class3_executions:
+        Consensus executions per class-3 measurement point.
+    replications:
+        SAN replications per simulation point.
+    measured_process_counts:
+        The n values measured on the cluster (the paper: 3, 5, 7, 9, 11).
+    simulated_process_counts:
+        The n values also simulated with the SAN model (the paper: 3, 5).
+    class3_process_counts:
+        The n values swept in the class-3 (timeout) experiments.
+    timeouts_ms:
+        The failure-detector timeouts T swept in Figures 8 and 9.
+    t_send_candidates_ms:
+        The ``t_send`` values swept in Figure 7(b).
+    delay_probes:
+        Probe messages per case in the Figure 6 micro-benchmark.
+    seed:
+        Base seed; every point derives its own seed from it.
+    """
+
+    executions: int = 300
+    class3_executions: int = 80
+    replications: int = 200
+    measured_process_counts: Tuple[int, ...] = (3, 5, 7, 9, 11)
+    simulated_process_counts: Tuple[int, ...] = (3, 5)
+    class3_process_counts: Tuple[int, ...] = (3, 5, 7)
+    timeouts_ms: Tuple[float, ...] = (1.0, 2.0, 3.0, 5.0, 10.0, 20.0, 30.0, 50.0, 100.0)
+    t_send_candidates_ms: Tuple[float, ...] = (0.005, 0.01, 0.015, 0.02, 0.025, 0.035)
+    delay_probes: int = 800
+    seed: int = 20020623  # DSN 2002 conference dates
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
+
+    # ------------------------------------------------------------------
+    # Presets
+    # ------------------------------------------------------------------
+    @staticmethod
+    def smoke() -> "ExperimentSettings":
+        """Tiny runs for sanity checks and unit tests."""
+        return ExperimentSettings(
+            executions=40,
+            class3_executions=25,
+            replications=40,
+            measured_process_counts=(3, 5),
+            simulated_process_counts=(3,),
+            class3_process_counts=(3,),
+            timeouts_ms=(1.0, 5.0, 20.0),
+            t_send_candidates_ms=(0.01, 0.025),
+            delay_probes=200,
+        )
+
+    @staticmethod
+    def quick() -> "ExperimentSettings":
+        """The default benchmark scale."""
+        return ExperimentSettings()
+
+    @staticmethod
+    def full() -> "ExperimentSettings":
+        """Paper-scale experiments (long)."""
+        return ExperimentSettings(
+            executions=5000,
+            class3_executions=1000,
+            replications=2000,
+            class3_process_counts=(3, 5, 7, 9, 11),
+            delay_probes=5000,
+        )
+
+    @staticmethod
+    def from_environment(default: str = "quick") -> "ExperimentSettings":
+        """Pick the preset named by ``REPRO_EXPERIMENT_SCALE`` (default quick)."""
+        name = os.environ.get("REPRO_EXPERIMENT_SCALE", default).strip().lower()
+        presets = {
+            "smoke": ExperimentSettings.smoke,
+            "quick": ExperimentSettings.quick,
+            "full": ExperimentSettings.full,
+        }
+        if name not in presets:
+            raise ValueError(
+                f"unknown REPRO_EXPERIMENT_SCALE {name!r}; expected one of {sorted(presets)}"
+            )
+        return presets[name]()
+
+    # ------------------------------------------------------------------
+    def with_cluster(self, cluster: ClusterConfig) -> "ExperimentSettings":
+        """A copy using a different base cluster configuration."""
+        return replace(self, cluster=cluster)
+
+    def cluster_for(self, n_processes: int, point_seed: int) -> ClusterConfig:
+        """The cluster configuration of one experiment point."""
+        return self.cluster.replace(n_processes=n_processes, seed=point_seed)
+
+    def point_seed(self, *indices: int) -> int:
+        """A deterministic seed for an experiment point identified by indices."""
+        seed = self.seed
+        for index in indices:
+            seed = (seed * 1_000_003 + int(index) * 8_191 + 7) % (2**62)
+        return seed
+
+    def class3_separation_ms(self, timeout_ms: float) -> float:
+        """Separation between class-3 executions (grows with the timeout)."""
+        return max(10.0, 2.0 * timeout_ms)
+
+
+def scaled_timeouts(
+    timeouts: Sequence[float], n_processes: int, max_for_large_n: float = 200.0
+) -> Tuple[float, ...]:
+    """Clip the timeout sweep for large process counts.
+
+    With 9 or 11 processes and sub-millisecond heartbeat periods the shared
+    100 Mb/s medium saturates (the paper notes it checked that the heartbeat
+    load was harmless -- at the timeouts it could actually run).  The sweep
+    therefore starts at 2 ms for n >= 9.
+    """
+    if n_processes >= 9:
+        return tuple(t for t in timeouts if 2.0 <= t <= max_for_large_n)
+    return tuple(timeouts)

@@ -1,0 +1,113 @@
+"""Table 1: latency under crash scenarios (§5.3).
+
+For every process count the paper reports the mean latency of three
+scenarios: no crash, the first coordinator initially crashed (the algorithm
+needs two rounds), and a participant initially crashed (one round, less
+contention).  Measurements cover n = 3..11; SAN simulations cover n = 3 and
+5.  The headline shapes are:
+
+* a coordinator crash always increases the latency;
+* a participant crash decreases it for n >= 5;
+* for n = 3 the *measured* participant-crash latency is slightly higher than
+  the crash-free one (the coordinator's unicast to the dead participant
+  delays the copy sent to the live one), while the *simulated* one is lower
+  because the SAN model sends the proposal as a single broadcast message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.scenarios import Scenario
+from repro.core.simulation import SimulationConfig, SimulationRunner
+from repro.experiments.figure7 import measure_latencies
+from repro.experiments.settings import ExperimentSettings
+from repro.sanmodels.parameters import SANParameters
+
+#: The three crash scenarios of Table 1, in the paper's row order.
+SCENARIOS: Tuple[Tuple[str, Scenario], ...] = (
+    ("no crash", Scenario.no_failures()),
+    ("coordinator crash", Scenario.coordinator_crash()),
+    ("participant crash", Scenario.participant_crash(1)),
+)
+
+
+@dataclass
+class Table1Result:
+    """Mean latencies per (scenario, n), measured and simulated."""
+
+    measured: Dict[Tuple[str, int], float] = field(default_factory=dict)
+    simulated: Dict[Tuple[str, int], float] = field(default_factory=dict)
+    measured_process_counts: Tuple[int, ...] = ()
+    simulated_process_counts: Tuple[int, ...] = ()
+
+    def row(self, scenario_label: str) -> List[Optional[float]]:
+        """One Table 1 row: measured (and simulated where available) means."""
+        cells: List[Optional[float]] = []
+        for n in self.measured_process_counts:
+            cells.append(self.measured.get((scenario_label, n)))
+            if n in self.simulated_process_counts:
+                cells.append(self.simulated.get((scenario_label, n)))
+        return cells
+
+    def measured_mean(self, scenario_label: str, n: int) -> float:
+        """Measured mean latency of one cell."""
+        return self.measured[(scenario_label, n)]
+
+    def simulated_mean(self, scenario_label: str, n: int) -> float:
+        """Simulated mean latency of one cell."""
+        return self.simulated[(scenario_label, n)]
+
+
+def run_table1(
+    settings: ExperimentSettings | None = None,
+    parameters: Optional[SANParameters] = None,
+) -> Table1Result:
+    """Regenerate Table 1 (measurements and SAN simulations)."""
+    settings = settings or ExperimentSettings.from_environment()
+    result = Table1Result(
+        measured_process_counts=settings.measured_process_counts,
+        simulated_process_counts=settings.simulated_process_counts,
+    )
+    parameters = parameters or SANParameters()
+
+    for scenario_index, (label, scenario) in enumerate(SCENARIOS):
+        for n_index, n in enumerate(settings.measured_process_counts):
+            latencies = measure_latencies(
+                settings,
+                n_processes=n,
+                scenario=scenario,
+                executions=settings.executions,
+                point_seed=settings.point_seed(1, scenario_index, n_index),
+            )
+            result.measured[(label, n)] = sum(latencies) / len(latencies)
+        for n_index, n in enumerate(settings.simulated_process_counts):
+            simulation = SimulationRunner(
+                SimulationConfig(
+                    n_processes=n,
+                    scenario=scenario,
+                    parameters=parameters,
+                    replications=settings.replications,
+                    seed=settings.point_seed(1, scenario_index, n_index, 99),
+                )
+            ).run()
+            result.simulated[(label, n)] = simulation.mean_latency_ms
+    return result
+
+
+def format_table1(result: Table1Result) -> str:
+    """Render Table 1 in the paper's layout (meas. and sim. columns)."""
+    header_cells = []
+    for n in result.measured_process_counts:
+        header_cells.append(f"n={n} meas.")
+        if n in result.simulated_process_counts:
+            header_cells.append(f"n={n} sim.")
+    lines = ["latency [ms]        " + "  ".join(f"{cell:>10}" for cell in header_cells)]
+    for label, _scenario in SCENARIOS:
+        cells = result.row(label)
+        rendered = "  ".join(
+            f"{cell:10.3f}" if cell is not None else " " * 10 for cell in cells
+        )
+        lines.append(f"{label:<20}{rendered}")
+    return "\n".join(lines)

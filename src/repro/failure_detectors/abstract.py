@@ -1,0 +1,151 @@
+"""The abstract, QoS-driven failure detector of §3.4.
+
+Instead of modeling the heartbeat mechanism and its messages, the paper's
+SAN model represents each failure-detector module (q monitoring p) as a
+two-state process alternating between "q trusts p" and "q suspects p".
+The sojourn times are chosen so that the model exhibits the same *mean*
+mistake duration ``T_M`` and mistake recurrence time ``T_MR`` as the real
+detector; the paper uses either deterministic or exponential sojourn-time
+distributions to bracket the variance (§3.4), and draws the *initial* state
+with the steady-state probabilities.
+
+The same abstraction is useful on the testbed simulator (it lets class-3
+latencies be simulated without heartbeat traffic), so it is provided here as
+a protocol layer; the SAN version is built in
+:mod:`repro.sanmodels.fd_model`.
+"""
+
+from __future__ import annotations
+
+from typing import Literal, Optional
+
+from repro.des.simulator import Simulator
+from repro.failure_detectors.base import FailureDetectorLayer
+from repro.failure_detectors.history import FailureDetectorHistory
+from repro.stats.distributions import Constant, Distribution, Exponential
+
+TransitionKind = Literal["deterministic", "exponential"]
+
+
+def _sojourn_distribution(kind: TransitionKind, mean: float) -> Distribution:
+    if kind == "deterministic":
+        return Constant(mean)
+    if kind == "exponential":
+        return Exponential(mean)
+    raise ValueError(f"unknown transition distribution kind: {kind!r}")
+
+
+class QoSDrivenFailureDetector(FailureDetectorLayer):
+    """A two-state failure detector driven by mean ``T_M`` and ``T_MR``.
+
+    For every monitored process the module alternates between *trust*
+    (mean sojourn ``T_MR - T_M``, so that mistakes recur every ``T_MR``)
+    and *suspect* (mean sojourn ``T_M``).  Modules are mutually independent,
+    which is exactly the simplifying assumption the paper makes -- and later
+    identifies as the main limitation of its model (§5.4).
+
+    Parameters
+    ----------
+    sim:
+        The owning simulator.
+    mistake_recurrence_time:
+        Mean time between the starts of two consecutive wrong suspicions.
+    mistake_duration:
+        Mean duration of a wrong suspicion.  Must be smaller than the
+        recurrence time.
+    kind:
+        ``"deterministic"`` (zero variance) or ``"exponential"`` (high
+        variance) sojourn times, the two cases studied in the paper.
+    crashed:
+        Processes that are actually crashed: they are suspected permanently
+        from the start (completeness), and no mistake process is run for
+        them.
+    history:
+        Optional history receiving the generated transitions.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        mistake_recurrence_time: float,
+        mistake_duration: float,
+        kind: TransitionKind = "exponential",
+        crashed: Optional[set[int]] = None,
+        history: Optional[FailureDetectorHistory] = None,
+        name: str = "qos-fd",
+    ) -> None:
+        super().__init__(sim, name)
+        if mistake_duration < 0:
+            raise ValueError("mistake_duration must be >= 0")
+        if mistake_recurrence_time <= mistake_duration:
+            raise ValueError(
+                "mistake_recurrence_time must exceed mistake_duration "
+                f"({mistake_recurrence_time} <= {mistake_duration})"
+            )
+        self.mistake_recurrence_time = float(mistake_recurrence_time)
+        self.mistake_duration = float(mistake_duration)
+        self.kind = kind
+        self.crashed = set(crashed or ())
+        self.history = history
+        trust_mean = self.mistake_recurrence_time - self.mistake_duration
+        self._trust_sojourn = _sojourn_distribution(kind, trust_mean)
+        self._suspect_sojourn = (
+            _sojourn_distribution(kind, self.mistake_duration)
+            if self.mistake_duration > 0
+            else None
+        )
+        self._rng = sim.random.stream(f"{name}.sojourns")
+
+    # ------------------------------------------------------------------
+    @property
+    def suspicion_probability(self) -> float:
+        """Steady-state probability of being in the *suspect* state."""
+        return self.mistake_duration / self.mistake_recurrence_time
+
+    def start(self) -> None:
+        """Install permanent suspicions for crashed processes and start the
+        alternation for the correct ones (initial state drawn at random)."""
+        for peer in range(self.n_processes):
+            if peer == self.process_id:
+                continue
+            if peer in self.crashed:
+                self._transition(peer, suspected=True)
+                continue
+            if self._suspect_sojourn is None:
+                self._schedule_transition(peer, to_suspected=True)
+                continue
+            if self._rng.random() < self.suspicion_probability:
+                self._transition(peer, suspected=True)
+                self._schedule_transition(peer, to_suspected=False)
+            else:
+                self._schedule_transition(peer, to_suspected=True)
+
+    # ------------------------------------------------------------------
+    def _schedule_transition(self, peer: int, to_suspected: bool) -> None:
+        if to_suspected:
+            delay = self._trust_sojourn.sample(self._rng)
+        else:
+            assert self._suspect_sojourn is not None
+            delay = self._suspect_sojourn.sample(self._rng)
+        self.set_timer(f"fd:{peer}", delay, self._fire_transition, peer, to_suspected)
+
+    def _fire_transition(self, peer: int, to_suspected: bool) -> None:
+        if self.process is not None and self.process.crashed:
+            return
+        self._transition(peer, suspected=to_suspected)
+        if self._suspect_sojourn is None and to_suspected:
+            # Mistakes of zero duration: immediately revert to trust.
+            self._transition(peer, suspected=False)
+            self._schedule_transition(peer, to_suspected=True)
+            return
+        self._schedule_transition(peer, to_suspected=not to_suspected)
+
+    def _transition(self, peer: int, suspected: bool) -> None:
+        changed = self._set_suspected(peer, suspected)
+        if changed and self.history is not None:
+            self.history.record(
+                monitor=self.process_id,
+                monitored=peer,
+                time=self.sim.now,
+                suspected=suspected,
+            )

@@ -1,0 +1,217 @@
+"""Quality-of-service metrics of failure detectors (Chen, Toueg, Aguilera).
+
+The paper abstracts the failure detector in its SAN model by the QoS metrics
+of [15] (§3.4):
+
+* **Detection time** ``T_D``: time from a crash until the crashed process is
+  suspected permanently.
+* **Mistake recurrence time** ``T_MR``: time between two consecutive wrong
+  suspicions of a correct process.
+* **Mistake duration** ``T_M``: time a wrong suspicion lasts.
+
+For runs without crashes the paper estimates the *mean* of ``T_MR`` and
+``T_M`` for each ordered pair (p, q) from the FD history over the full
+experiment duration ``T_exp`` using the two equations of §4::
+
+    T_M / T_MR = T_S / T_exp          (fraction of time spent suspecting)
+    T_exp      = (n_TS + n_ST) / 2 * T_MR
+
+where ``T_S`` is the total time spent suspecting, ``n_TS`` the number of
+trust->suspect transitions and ``n_ST`` the number of suspect->trust
+transitions.  The overall metrics are the averages of the per-pair values.
+This module implements exactly that estimator, plus a direct interval-based
+estimator used for cross-checking in tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.failure_detectors.history import FailureDetectorHistory
+
+
+@dataclass(frozen=True)
+class PairQoS:
+    """QoS estimates for one (monitor, monitored) pair."""
+
+    monitor: int
+    monitored: int
+    mistake_recurrence_time: float
+    mistake_duration: float
+    n_trust_to_suspect: int
+    n_suspect_to_trust: int
+    time_suspected: float
+
+
+@dataclass(frozen=True)
+class QoSEstimate:
+    """QoS estimates averaged over all monitored pairs (as in the paper)."""
+
+    mistake_recurrence_time: float
+    mistake_duration: float
+    detection_time: float
+    pairs: Tuple[PairQoS, ...]
+    experiment_duration: float
+
+    @property
+    def suspicion_fraction(self) -> float:
+        """Average fraction of time spent (wrongly) suspecting: T_M / T_MR."""
+        if math.isinf(self.mistake_recurrence_time):
+            return 0.0
+        if self.mistake_recurrence_time <= 0:
+            return 1.0
+        return min(1.0, self.mistake_duration / self.mistake_recurrence_time)
+
+
+def estimate_pair_qos(
+    history: FailureDetectorHistory,
+    monitor: int,
+    monitored: int,
+    experiment_duration: float,
+) -> PairQoS:
+    """Estimate ``T_MR`` and ``T_M`` for one pair using the paper's equations.
+
+    A pair with no recorded transitions has an infinite mistake recurrence
+    time and a zero mistake duration (the detector never made a mistake).
+    """
+    if experiment_duration <= 0:
+        raise ValueError("experiment_duration must be > 0")
+    n_ts, n_st = history.transition_counts(monitor, monitored)
+    time_suspected = history.time_suspected(monitor, monitored, experiment_duration)
+    transitions = n_ts + n_st
+    if transitions == 0:
+        return PairQoS(
+            monitor=monitor,
+            monitored=monitored,
+            mistake_recurrence_time=math.inf,
+            mistake_duration=0.0,
+            n_trust_to_suspect=0,
+            n_suspect_to_trust=0,
+            time_suspected=0.0,
+        )
+    # T_exp = (n_TS + n_ST) / 2 * T_MR   =>   T_MR = 2 * T_exp / (n_TS + n_ST)
+    mistake_recurrence = 2.0 * experiment_duration / transitions
+    # T_M / T_MR = T_S / T_exp           =>   T_M = T_MR * T_S / T_exp
+    mistake_duration = mistake_recurrence * time_suspected / experiment_duration
+    return PairQoS(
+        monitor=monitor,
+        monitored=monitored,
+        mistake_recurrence_time=mistake_recurrence,
+        mistake_duration=mistake_duration,
+        n_trust_to_suspect=n_ts,
+        n_suspect_to_trust=n_st,
+        time_suspected=time_suspected,
+    )
+
+
+def estimate_qos(
+    history: FailureDetectorHistory,
+    n_processes: int,
+    experiment_duration: float,
+    crashed: Optional[set[int]] = None,
+) -> QoSEstimate:
+    """Estimate the overall QoS metrics of an experiment.
+
+    Parameters
+    ----------
+    history:
+        The shared transition history of all failure-detector modules.
+    n_processes:
+        Number of processes; all ordered pairs (monitor, monitored) with
+        both processes correct contribute to ``T_MR``/``T_M``.
+    experiment_duration:
+        Total duration ``T_exp`` of the experiment (spanning every consensus
+        execution, as in §4).
+    crashed:
+        Processes that actually crashed.  Pairs whose monitored process
+        crashed contribute to the detection time ``T_D`` instead of to the
+        mistake metrics.
+    """
+    crashed = crashed or set()
+    pair_estimates: List[PairQoS] = []
+    detection_times: List[float] = []
+    for monitor in range(n_processes):
+        if monitor in crashed:
+            continue
+        for monitored in range(n_processes):
+            if monitored == monitor:
+                continue
+            if monitored in crashed:
+                detection = _detection_time(history, monitor, monitored)
+                if detection is not None:
+                    detection_times.append(detection)
+                continue
+            pair_estimates.append(
+                estimate_pair_qos(history, monitor, monitored, experiment_duration)
+            )
+
+    finite_tmr = [
+        p.mistake_recurrence_time
+        for p in pair_estimates
+        if not math.isinf(p.mistake_recurrence_time)
+    ]
+    mistake_recurrence = (
+        sum(finite_tmr) / len(finite_tmr) if finite_tmr else math.inf
+    )
+    durations = [
+        p.mistake_duration
+        for p in pair_estimates
+        if not math.isinf(p.mistake_recurrence_time)
+    ]
+    mistake_duration = sum(durations) / len(durations) if durations else 0.0
+    detection_time = (
+        sum(detection_times) / len(detection_times) if detection_times else math.nan
+    )
+    return QoSEstimate(
+        mistake_recurrence_time=mistake_recurrence,
+        mistake_duration=mistake_duration,
+        detection_time=detection_time,
+        pairs=tuple(pair_estimates),
+        experiment_duration=experiment_duration,
+    )
+
+
+def estimate_qos_from_intervals(
+    history: FailureDetectorHistory,
+    n_processes: int,
+    experiment_duration: float,
+) -> Dict[str, float]:
+    """Direct estimator: average gap between suspicion starts and average
+    suspicion length, computed from the explicit intervals.
+
+    This is a cross-check for :func:`estimate_qos`; the two agree when the
+    experiment is long compared with the mistake recurrence time.
+    """
+    recurrence_gaps: List[float] = []
+    durations: List[float] = []
+    for monitor in range(n_processes):
+        for monitored in range(n_processes):
+            if monitor == monitored:
+                continue
+            intervals = history.suspicion_intervals(
+                monitor, monitored, experiment_duration
+            )
+            durations.extend(end - start for start, end in intervals)
+            starts = [start for start, _ in intervals]
+            recurrence_gaps.extend(
+                later - earlier for earlier, later in zip(starts, starts[1:])
+            )
+    return {
+        "mistake_recurrence_time": (
+            sum(recurrence_gaps) / len(recurrence_gaps) if recurrence_gaps else math.inf
+        ),
+        "mistake_duration": sum(durations) / len(durations) if durations else 0.0,
+    }
+
+
+def _detection_time(
+    history: FailureDetectorHistory, monitor: int, monitored: int
+) -> Optional[float]:
+    """Time of the last trust->suspect transition (crash assumed at t=0)."""
+    transitions = history.pair_transitions(monitor, monitored)
+    suspect_times = [t.time for t in transitions if t.suspected]
+    if not suspect_times:
+        return None
+    return suspect_times[-1]

@@ -1,0 +1,40 @@
+"""A complete and accurate failure detector.
+
+The paper's class-1 runs assume failure detectors that never suspect anyone,
+and its class-2 runs assume detectors that suspect the initially crashed
+process forever and never suspect correct processes (§2.4).  Both are
+instances of this static detector, configured with the set of crashed
+processes known a priori.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.des.simulator import Simulator
+from repro.failure_detectors.base import FailureDetectorLayer
+
+
+class StaticFailureDetector(FailureDetectorLayer):
+    """Suspects exactly a fixed set of processes, forever.
+
+    Parameters
+    ----------
+    sim:
+        The owning simulator.
+    crashed:
+        Processes suspected from the start (e.g. ``{0}`` when the first
+        coordinator is initially crashed).  An empty set yields the
+        class-1 "accurate, never suspects" detector.
+    """
+
+    def __init__(
+        self, sim: Simulator, crashed: Optional[Iterable[int]] = None, name: str = "static-fd"
+    ) -> None:
+        super().__init__(sim, name)
+        self._initial_crashed = set(crashed or ())
+
+    def start(self) -> None:
+        """Install the initial (and permanent) suspicions."""
+        for process_id in sorted(self._initial_crashed):
+            self._set_suspected(process_id, True)

@@ -1,0 +1,76 @@
+"""Stochastic Activity Network (SAN) modeling and simulation framework.
+
+This package is the repository's stand-in for UltraSAN / Möbius, the
+(closed, academic) tool the paper used to build and solve its models
+(§3.1).  It provides the full SAN vocabulary:
+
+* **Places** holding non-negative integer markings
+  (:class:`~repro.san.places.Place`).
+* **Timed activities** with arbitrary duration distributions
+  (exponential, deterministic, uniform, Weibull, the paper's bi-modal
+  uniform, ...) and **instantaneous activities**, both with probabilistic
+  **cases** (:mod:`repro.san.activities`).
+* **Input gates** (enabling predicate + marking transformation) and
+  **output gates** (marking transformation) (:mod:`repro.san.gates`).
+* **Composed models** via ``Join`` and ``Rep`` with shared places
+  (:mod:`repro.san.composition`), mirroring UltraSAN's composition
+  operators.
+* **Reward variables** (first-passage times, interval-of-time and
+  instant-of-time rewards, activity counters) (:mod:`repro.san.rewards`).
+* A **simulative solver** running independent replications until a target
+  confidence-interval precision is reached (:mod:`repro.san.solver`)
+  -- the paper had to use simulative solvers because of its
+  non-exponential distributions (§5).
+
+The execution semantics follow the standard SAN definition: an activity is
+enabled when every input arc is satisfied and every input-gate predicate
+holds; enabled instantaneous activities fire immediately (before any timed
+activity); an enabled timed activity samples an activation delay and fires
+when it elapses, unless it was disabled in the meantime (in which case it is
+*reactivated* -- a fresh delay is sampled the next time it becomes enabled).
+On firing, a case is chosen according to the case probabilities, input arcs
+and gates consume/transform the marking, then the chosen case's output arcs
+and gates are applied.
+"""
+
+from repro.san.activities import Activity, Case, InstantaneousActivity, TimedActivity
+from repro.san.composition import join, rename_model, replicate
+from repro.san.executor import SANExecutionError, SANExecutor
+from repro.san.gates import InputGate, OutputGate
+from repro.san.marking import Marking
+from repro.san.model import SANModel, SANValidationError
+from repro.san.places import Place
+from repro.san.rewards import (
+    ActivityCounter,
+    FirstPassageTime,
+    InstantOfTime,
+    IntervalOfTime,
+    RewardVariable,
+)
+from repro.san.solver import ReplicationResult, SimulativeSolver, SolverResult
+
+__all__ = [
+    "Activity",
+    "ActivityCounter",
+    "Case",
+    "FirstPassageTime",
+    "InputGate",
+    "InstantOfTime",
+    "InstantaneousActivity",
+    "IntervalOfTime",
+    "Marking",
+    "OutputGate",
+    "Place",
+    "ReplicationResult",
+    "RewardVariable",
+    "SANExecutionError",
+    "SANExecutor",
+    "SANModel",
+    "SANValidationError",
+    "SimulativeSolver",
+    "SolverResult",
+    "TimedActivity",
+    "join",
+    "rename_model",
+    "replicate",
+]

@@ -1,0 +1,160 @@
+"""Model composition: Join and Rep.
+
+UltraSAN supports modular modeling through the ``REP`` and ``JOIN``
+operators (§3.1): submodels are replicated and joined together over *common
+places*.  The paper's consensus model is built exactly this way -- one
+submodel per process joined over the shared network places (§3.2).
+
+In this framework places are shared by *name*: joining models merges their
+place sets (places with the same name become one), and replication renames
+every non-shared place and activity with a per-replica prefix.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence, Set
+
+from repro.san.activities import (
+    Activity,
+    Case,
+    InstantaneousActivity,
+    TimedActivity,
+)
+from repro.san.model import SANModel, SANValidationError, merge_places
+from repro.san.places import Place
+
+
+def join(name: str, models: Sequence[SANModel]) -> SANModel:
+    """Join several models into one, sharing places with equal names.
+
+    Activity names must remain unique across the joined models; replicate
+    with distinct prefixes before joining if necessary.
+    """
+    if not models:
+        raise SANValidationError("join() requires at least one model")
+    joined = SANModel(name)
+    for place in merge_places(models).values():
+        joined.add_place(place)
+    for model in models:
+        for activity in model.activities:
+            joined.add_activity(activity)
+    return joined
+
+
+def rename_model(
+    model: SANModel,
+    prefix: str,
+    shared: Set[str] | None = None,
+) -> SANModel:
+    """A copy of ``model`` with places and activities renamed by ``prefix``.
+
+    Parameters
+    ----------
+    model:
+        The model to rename.
+    prefix:
+        Prefix prepended to every non-shared place name and every activity
+        name (e.g. ``"p3."``).
+    shared:
+        Place names that must *not* be renamed because they are meant to be
+        shared with other replicas (UltraSAN's common places).
+    """
+    shared = shared or set()
+
+    def rename(place_name: str) -> str:
+        if place_name in shared:
+            return place_name
+        return f"{prefix}{place_name}"
+
+    renamed = SANModel(f"{prefix}{model.name}")
+    for place in model.places:
+        if place.name in shared:
+            renamed.add_place(place)
+        else:
+            renamed.add_place(Place(rename(place.name), place.initial))
+    for activity in model.activities:
+        renamed.add_activity(_rename_activity(activity, prefix, rename))
+    return renamed
+
+
+def replicate(
+    model: SANModel,
+    count: int,
+    shared: Set[str] | None = None,
+    name: str | None = None,
+    prefix_format: str = "r{index}.",
+) -> SANModel:
+    """UltraSAN's ``REP``: ``count`` renamed copies joined over shared places.
+
+    Parameters
+    ----------
+    model:
+        The submodel to replicate.
+    count:
+        Number of replicas (>= 1).
+    shared:
+        Names of common places shared by all replicas.
+    name:
+        Name of the composed model; defaults to ``"Rep(<model>, <count>)"``.
+    prefix_format:
+        Format string for the per-replica prefix, receiving ``index``
+        (0-based).
+    """
+    if count < 1:
+        raise SANValidationError(f"replicate() requires count >= 1, got {count}")
+    replicas = [
+        rename_model(model, prefix_format.format(index=index), shared)
+        for index in range(count)
+    ]
+    return join(name or f"Rep({model.name}, {count})", replicas)
+
+
+# ----------------------------------------------------------------------
+# Internals
+# ----------------------------------------------------------------------
+def _rename_activity(
+    activity: Activity, prefix: str, rename: Callable[[str], str]
+) -> Activity:
+    input_arcs = [(rename(place), weight) for place, weight in activity.input_arcs]
+    input_gates = [gate.renamed(prefix, rename) for gate in activity.input_gates]
+    cases = [_rename_case(case, prefix, rename) for case in activity.cases]
+    if isinstance(activity, TimedActivity):
+        return TimedActivity(
+            name=f"{prefix}{activity.name}",
+            distribution=activity.distribution,
+            input_arcs=input_arcs,
+            input_gates=input_gates,
+            cases=cases,
+            reactivation=activity.reactivation,
+        )
+    if isinstance(activity, InstantaneousActivity):
+        return InstantaneousActivity(
+            name=f"{prefix}{activity.name}",
+            input_arcs=input_arcs,
+            input_gates=input_gates,
+            cases=cases,
+            rank=activity.rank,
+        )
+    raise SANValidationError(
+        f"cannot rename activity {activity.name!r} of unknown type {type(activity)!r}"
+    )
+
+
+def _rename_case(case: Case, prefix: str, rename: Callable[[str], str]) -> Case:
+    return Case(
+        probability=case.probability,
+        output_arcs=tuple((rename(place), weight) for place, weight in case.output_arcs),
+        output_gates=tuple(gate.renamed(prefix, rename) for gate in case.output_gates),
+        label=case.label,
+    )
+
+
+def shared_place_names(models: Iterable[SANModel]) -> Set[str]:
+    """Place names that appear in more than one of the given models."""
+    seen: Set[str] = set()
+    shared: Set[str] = set()
+    for model in models:
+        names = {place.name for place in model.places}
+        shared |= seen & names
+        seen |= names
+    return shared

@@ -1,0 +1,150 @@
+"""Input and output gates.
+
+Gates are what make SANs more expressive than plain stochastic Petri nets
+(§3.1 of the paper):
+
+* an **input gate** has an *enabling predicate* over the marking and an
+  *input function* that transforms the marking when the connected activity
+  completes;
+* an **output gate** has only an *output function*, applied after the
+  chosen case's output arcs.
+
+In this framework the predicate and functions are ordinary Python callables
+over a :class:`~repro.san.marking.Marking`, which is precisely how UltraSAN
+gates are written (as C fragments over the marking variables).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.san.marking import Marking
+
+Predicate = Callable[[Marking], bool]
+MarkingFunction = Callable[[Marking], None]
+
+
+def _identity(_: Marking) -> None:
+    """The default gate function: leave the marking unchanged."""
+
+
+@dataclass(frozen=True)
+class InputGate:
+    """An input gate: enabling predicate plus marking transformation.
+
+    Parameters
+    ----------
+    name:
+        Gate name (used in error messages and model summaries).
+    predicate:
+        Callable returning ``True`` when the gate enables its activity.
+    function:
+        Marking transformation applied when the activity completes.  It runs
+        *before* the chosen case's output arcs and gates, matching SAN
+        completion rules.
+    watched_places:
+        The places the predicate reads.  Declaring them lets the executor
+        re-evaluate the gate only when one of those places changes; a gate
+        with an empty watch list is conservatively re-evaluated after every
+        completion.
+    """
+
+    name: str
+    predicate: Predicate
+    function: MarkingFunction = field(default=_identity)
+    watched_places: tuple[str, ...] = ()
+
+    def enabled(self, marking: Marking) -> bool:
+        """Evaluate the enabling predicate."""
+        return bool(self.predicate(marking))
+
+    def apply(self, marking: Marking) -> None:
+        """Apply the input function to ``marking``."""
+        self.function(marking)
+
+    def renamed(self, prefix: str, rename: Callable[[str], str]) -> "InputGate":
+        """A renamed copy for model replication.
+
+        The predicate and function are wrapped so that they see a *view* of
+        the marking in which unprefixed place names resolve to the prefixed
+        ones.  This keeps hand-written gates reusable across replicas.
+        """
+        return InputGate(
+            name=f"{prefix}{self.name}",
+            predicate=_wrap_predicate(self.predicate, rename),
+            function=_wrap_function(self.function, rename),
+            watched_places=tuple(rename(place) for place in self.watched_places),
+        )
+
+
+@dataclass(frozen=True)
+class OutputGate:
+    """An output gate: a marking transformation applied on completion."""
+
+    name: str
+    function: MarkingFunction
+
+    def apply(self, marking: Marking) -> None:
+        """Apply the output function to ``marking``."""
+        self.function(marking)
+
+    def renamed(self, prefix: str, rename: Callable[[str], str]) -> "OutputGate":
+        """A renamed copy for model replication (see :meth:`InputGate.renamed`)."""
+        return OutputGate(
+            name=f"{prefix}{self.name}",
+            function=_wrap_function(self.function, rename),
+        )
+
+
+class _MarkingView:
+    """A thin proxy translating place names through a rename function."""
+
+    __slots__ = ("_marking", "_rename")
+
+    def __init__(self, marking: Marking, rename: Callable[[str], str]) -> None:
+        self._marking = marking
+        self._rename = rename
+
+    def __getitem__(self, place) -> int:
+        return self._marking[self._translate(place)]
+
+    def __setitem__(self, place, count: int) -> None:
+        self._marking[self._translate(place)] = count
+
+    def add(self, place, count: int = 1) -> None:
+        self._marking.add(self._translate(place), count)
+
+    def remove(self, place, count: int = 1) -> None:
+        self._marking.remove(self._translate(place), count)
+
+    def has(self, place, count: int = 1) -> bool:
+        return self._marking.has(self._translate(place), count)
+
+    def _translate(self, place) -> str:
+        name = place.name if hasattr(place, "name") else place
+        return self._rename(name)
+
+
+def _wrap_predicate(
+    predicate: Predicate, rename: Optional[Callable[[str], str]]
+) -> Predicate:
+    if rename is None:
+        return predicate
+
+    def wrapped(marking: Marking) -> bool:
+        return predicate(_MarkingView(marking, rename))  # type: ignore[arg-type]
+
+    return wrapped
+
+
+def _wrap_function(
+    function: MarkingFunction, rename: Optional[Callable[[str], str]]
+) -> MarkingFunction:
+    if rename is None:
+        return function
+
+    def wrapped(marking: Marking) -> None:
+        function(_MarkingView(marking, rename))  # type: ignore[arg-type]
+
+    return wrapped

@@ -1,0 +1,118 @@
+"""Markings: the state of a SAN.
+
+A :class:`Marking` maps place names to non-negative token counts.  Gate
+predicates and functions receive the marking and read or mutate it through
+the mapping interface.  The marking guards against negative token counts,
+the most common modeling bug.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Union
+
+from repro.san.places import Place
+
+PlaceRef = Union[str, Place]
+
+
+def _name(place: PlaceRef) -> str:
+    return place.name if isinstance(place, Place) else place
+
+
+class Marking:
+    """A mutable mapping from place names to token counts.
+
+    The marking keeps a *change journal*: every place whose token count
+    actually changes is recorded until :meth:`consume_changes` is called.
+    The SAN executor uses the journal to re-evaluate only the activities
+    that could have been affected by a completion, which keeps large
+    generated models (hundreds of activities) fast to simulate.
+    """
+
+    __slots__ = ("_tokens", "_changed")
+
+    def __init__(self, tokens: Mapping[str, int] | None = None) -> None:
+        self._tokens: Dict[str, int] = {}
+        self._changed: set[str] = set()
+        if tokens:
+            for name, count in tokens.items():
+                self[name] = count
+
+    # ------------------------------------------------------------------
+    def __getitem__(self, place: PlaceRef) -> int:
+        return self._tokens.get(_name(place), 0)
+
+    def __setitem__(self, place: PlaceRef, count: int) -> None:
+        name = _name(place)
+        count = int(count)
+        if count < 0:
+            raise ValueError(
+                f"marking of place {name!r} would become negative ({count})"
+            )
+        if self._tokens.get(name, 0) != count:
+            self._changed.add(name)
+        self._tokens[name] = count
+
+    # ------------------------------------------------------------------
+    def consume_changes(self) -> set[str]:
+        """Return the places changed since the last call, and clear the journal."""
+        changed = self._changed
+        self._changed = set()
+        return changed
+
+    def __contains__(self, place: PlaceRef) -> bool:
+        return _name(place) in self._tokens
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._tokens)
+
+    def __len__(self) -> int:
+        return len(self._tokens)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Marking):
+            return self.as_dict(drop_zeros=True) == other.as_dict(drop_zeros=True)
+        if isinstance(other, Mapping):
+            return self.as_dict(drop_zeros=True) == {
+                key: value for key, value in other.items() if value
+            }
+        return NotImplemented
+
+    def __hash__(self) -> int:  # pragma: no cover - markings are mutable
+        raise TypeError("Marking objects are mutable and unhashable")
+
+    # ------------------------------------------------------------------
+    def add(self, place: PlaceRef, count: int = 1) -> None:
+        """Add ``count`` tokens to ``place``."""
+        self[place] = self[place] + count
+
+    def remove(self, place: PlaceRef, count: int = 1) -> None:
+        """Remove ``count`` tokens from ``place`` (raising if insufficient)."""
+        self[place] = self[place] - count
+
+    def set_all(self, places: Iterable[PlaceRef], count: int) -> None:
+        """Set every place in ``places`` to ``count`` tokens."""
+        for place in places:
+            self[place] = count
+
+    def has(self, place: PlaceRef, count: int = 1) -> bool:
+        """``True`` if ``place`` holds at least ``count`` tokens."""
+        return self[place] >= count
+
+    def copy(self) -> "Marking":
+        """An independent copy of this marking."""
+        return Marking(dict(self._tokens))
+
+    def as_dict(self, drop_zeros: bool = False) -> Dict[str, int]:
+        """The marking as a plain dictionary."""
+        if drop_zeros:
+            return {name: count for name, count in self._tokens.items() if count}
+        return dict(self._tokens)
+
+    def total_tokens(self) -> int:
+        """Total number of tokens across all places."""
+        return sum(self._tokens.values())
+
+    def __repr__(self) -> str:
+        nonzero = {k: v for k, v in sorted(self._tokens.items()) if v}
+        return f"Marking({nonzero})"

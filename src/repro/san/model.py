@@ -1,0 +1,174 @@
+"""The SAN model container.
+
+A :class:`SANModel` is a named collection of places and activities.  It
+performs structural validation (unique names, arcs referring to declared
+places) and produces the initial marking.  Models are composed with the
+operators in :mod:`repro.san.composition`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence
+
+from repro.san.activities import Activity, InstantaneousActivity, TimedActivity
+from repro.san.marking import Marking
+from repro.san.places import Place
+
+
+class SANValidationError(ValueError):
+    """Raised when a model is structurally inconsistent."""
+
+
+class SANModel:
+    """A Stochastic Activity Network.
+
+    Parameters
+    ----------
+    name:
+        Model name (used by composition and in error messages).
+    places:
+        The places of the model.
+    activities:
+        The timed and instantaneous activities.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        places: Sequence[Place] = (),
+        activities: Sequence[Activity] = (),
+    ) -> None:
+        self.name = name
+        self._places: Dict[str, Place] = {}
+        self._activities: Dict[str, Activity] = {}
+        for place in places:
+            self.add_place(place)
+        for activity in activities:
+            self.add_activity(activity)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_place(self, place: Place) -> Place:
+        """Add a place; adding an identical duplicate is a no-op."""
+        existing = self._places.get(place.name)
+        if existing is not None:
+            if existing.initial != place.initial:
+                raise SANValidationError(
+                    f"model {self.name!r}: place {place.name!r} redefined with a "
+                    f"different initial marking ({existing.initial} vs {place.initial})"
+                )
+            return existing
+        self._places[place.name] = place
+        return place
+
+    def place(self, name: str, initial: int = 0) -> Place:
+        """Create (or fetch) a place by name."""
+        if name in self._places:
+            return self._places[name]
+        return self.add_place(Place(name, initial))
+
+    def add_activity(self, activity: Activity) -> Activity:
+        """Add an activity; names must be unique within the model."""
+        if activity.name in self._activities:
+            raise SANValidationError(
+                f"model {self.name!r}: duplicate activity name {activity.name!r}"
+            )
+        self._activities[activity.name] = activity
+        return activity
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def places(self) -> list[Place]:
+        """All places, in insertion order."""
+        return list(self._places.values())
+
+    @property
+    def activities(self) -> list[Activity]:
+        """All activities, in insertion order."""
+        return list(self._activities.values())
+
+    @property
+    def timed_activities(self) -> list[TimedActivity]:
+        """Only the timed activities."""
+        return [a for a in self._activities.values() if isinstance(a, TimedActivity)]
+
+    @property
+    def instantaneous_activities(self) -> list[InstantaneousActivity]:
+        """Only the instantaneous activities."""
+        return [
+            a
+            for a in self._activities.values()
+            if isinstance(a, InstantaneousActivity)
+        ]
+
+    def has_place(self, name: str) -> bool:
+        """``True`` if a place named ``name`` exists."""
+        return name in self._places
+
+    def get_place(self, name: str) -> Place:
+        """Fetch a place by name, raising ``KeyError`` if absent."""
+        return self._places[name]
+
+    def get_activity(self, name: str) -> Activity:
+        """Fetch an activity by name, raising ``KeyError`` if absent."""
+        return self._activities[name]
+
+    # ------------------------------------------------------------------
+    # Validation and initial marking
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check that every arc refers to a declared place.
+
+        Gates are opaque Python callables, so references inside gate bodies
+        cannot be validated statically; arcs can, and modeling errors most
+        often show up there.
+        """
+        for activity in self._activities.values():
+            for place, _weight in activity.input_arcs:
+                if place not in self._places:
+                    raise SANValidationError(
+                        f"model {self.name!r}: activity {activity.name!r} has an "
+                        f"input arc from undeclared place {place!r}"
+                    )
+            for case in activity.cases:
+                for place, _weight in case.output_arcs:
+                    if place not in self._places:
+                        raise SANValidationError(
+                            f"model {self.name!r}: activity {activity.name!r} has an "
+                            f"output arc to undeclared place {place!r}"
+                        )
+
+    def initial_marking(self) -> Marking:
+        """The initial marking declared by the places."""
+        return Marking({place.name: place.initial for place in self._places.values()})
+
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """A short human-readable description of the model's size."""
+        return (
+            f"SANModel {self.name!r}: {len(self._places)} places, "
+            f"{len(self.timed_activities)} timed activities, "
+            f"{len(self.instantaneous_activities)} instantaneous activities"
+        )
+
+    def __repr__(self) -> str:
+        return self.summary()
+
+
+def merge_places(models: Iterable[SANModel]) -> Dict[str, Place]:
+    """Union of the place sets of several models, checking initial markings."""
+    merged: Dict[str, Place] = {}
+    for model in models:
+        for place in model.places:
+            existing = merged.get(place.name)
+            if existing is None:
+                merged[place.name] = place
+            elif existing.initial != place.initial:
+                raise SANValidationError(
+                    f"shared place {place.name!r} has conflicting initial markings "
+                    f"({existing.initial} vs {place.initial})"
+                )
+    return merged

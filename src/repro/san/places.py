@@ -1,0 +1,41 @@
+"""SAN places.
+
+A place holds a non-negative integer marking.  Places are identified by
+name; model composition (Join / Rep) shares places across submodels by
+matching names, exactly like UltraSAN's "common places".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Place:
+    """A SAN place.
+
+    Parameters
+    ----------
+    name:
+        Unique name within a model.  Composition operators share places by
+        name, so choose globally meaningful names (e.g. ``"network"``) for
+        places meant to be shared and prefixed names (e.g. ``"p3.cpu"``) for
+        per-submodel places.
+    initial:
+        Initial marking (number of tokens), non-negative.
+    """
+
+    name: str
+    initial: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("Place name must be non-empty")
+        if self.initial < 0:
+            raise ValueError(
+                f"Place {self.name!r} initial marking must be >= 0, got {self.initial}"
+            )
+
+    def renamed(self, prefix: str) -> "Place":
+        """A copy of this place with ``prefix`` prepended to its name."""
+        return Place(name=f"{prefix}{self.name}", initial=self.initial)

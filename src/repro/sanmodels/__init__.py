@@ -1,0 +1,41 @@
+"""The paper's SAN models, built on :mod:`repro.san`.
+
+The paper models the ◇S consensus algorithm and its environment as a
+composed Stochastic Activity Network (§3):
+
+* one submodel per process implementing the state machine of a round
+  (coordinator actions P1C, participant actions P1A1/P1A2a/P1A2b, round
+  advancement P1A3) -- :mod:`repro.sanmodels.process_model`;
+* a contention-aware network model with one shared network resource and one
+  CPU resource per host, parameterised by ``t_send``, ``t_receive`` and
+  ``t_net`` (§3.3) -- :mod:`repro.sanmodels.network_model`;
+* a two-state failure-detector model per (monitor, monitored) pair driven by
+  the measured QoS metrics (§3.4) -- :mod:`repro.sanmodels.fd_model`;
+* the composition of all of the above into a single model per scenario,
+  together with the latency reward variable and a simulative-solver facade
+  -- :mod:`repro.sanmodels.consensus_model`.
+"""
+
+from repro.sanmodels.consensus_model import (
+    ConsensusSANExperiment,
+    build_consensus_model,
+    consensus_stop_predicate,
+    latency_reward,
+)
+from repro.sanmodels.fd_model import FDModelSettings, add_failure_detector_pair
+from repro.sanmodels.network_model import add_broadcast_path, add_unicast_path
+from repro.sanmodels.parameters import SANParameters
+from repro.sanmodels.process_model import add_process_state_machine
+
+__all__ = [
+    "ConsensusSANExperiment",
+    "FDModelSettings",
+    "SANParameters",
+    "add_broadcast_path",
+    "add_failure_detector_pair",
+    "add_process_state_machine",
+    "add_unicast_path",
+    "build_consensus_model",
+    "consensus_stop_predicate",
+    "latency_reward",
+]

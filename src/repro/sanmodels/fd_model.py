@@ -1,0 +1,160 @@
+"""The SAN failure-detector submodel (§3.4, Fig. 5 of the paper).
+
+Each process monitors every other process, so each process has ``n - 1``
+failure-detector modules.  Each module is a two-state process alternating
+between "trust" and "suspect"; its transitions are timed activities whose
+mean sojourn times are set so that the model reproduces the measured QoS
+metrics ``T_M`` (mistake duration) and ``T_MR`` (mistake recurrence time).
+Both a deterministic and an exponential sojourn-time distribution are
+supported, as in the paper.  An instantaneous activity draws the initial
+state with the steady-state probabilities (the paper's ``fd`` activity in
+Fig. 5).
+
+The modules of different pairs are mutually independent -- the paper's
+simplifying assumption, identified in §5.4 as the main limitation of the
+model when suspicions are frequent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+from repro.san.activities import Case, InstantaneousActivity, TimedActivity
+from repro.san.model import SANModel
+from repro.san.places import Place
+from repro.stats.distributions import Constant, Distribution, Exponential
+
+TransitionKind = Literal["deterministic", "exponential"]
+
+
+@dataclass(frozen=True)
+class FDModelSettings:
+    """QoS-derived settings of the abstract failure-detector model.
+
+    Attributes
+    ----------
+    mistake_recurrence_time:
+        Mean time ``T_MR`` between the starts of consecutive wrong
+        suspicions.
+    mistake_duration:
+        Mean duration ``T_M`` of a wrong suspicion.
+    kind:
+        Sojourn-time distribution: ``"deterministic"`` (minimum variance) or
+        ``"exponential"`` (high variance), the two cases of §3.4.
+    """
+
+    mistake_recurrence_time: float
+    mistake_duration: float
+    kind: TransitionKind = "exponential"
+
+    def __post_init__(self) -> None:
+        if self.mistake_duration < 0:
+            raise ValueError("mistake_duration must be >= 0")
+        if self.mistake_recurrence_time <= self.mistake_duration:
+            raise ValueError(
+                "mistake_recurrence_time must exceed mistake_duration "
+                f"({self.mistake_recurrence_time} <= {self.mistake_duration})"
+            )
+
+    @property
+    def trust_sojourn_mean(self) -> float:
+        """Mean time spent trusting between two mistakes."""
+        return self.mistake_recurrence_time - self.mistake_duration
+
+    @property
+    def suspicion_probability(self) -> float:
+        """Steady-state probability of the *suspect* state (T_M / T_MR)."""
+        return self.mistake_duration / self.mistake_recurrence_time
+
+    def _distribution(self, mean: float) -> Distribution:
+        if self.kind == "deterministic":
+            return Constant(mean)
+        if self.kind == "exponential":
+            return Exponential(mean)
+        raise ValueError(f"unknown FD transition kind: {self.kind!r}")
+
+    def trust_to_suspect_distribution(self) -> Distribution:
+        """Sojourn time in the *trust* state (activity ``ts`` of Fig. 5)."""
+        return self._distribution(self.trust_sojourn_mean)
+
+    def suspect_to_trust_distribution(self) -> Distribution:
+        """Sojourn time in the *suspect* state (activity ``st`` of Fig. 5)."""
+        return self._distribution(max(self.mistake_duration, 1e-9))
+
+
+def trust_place(monitor: int, monitored: int) -> str:
+    """Place that holds a token while ``monitor`` trusts ``monitored``."""
+    return f"p{monitor}.trust.{monitored}"
+
+
+def suspect_place(monitor: int, monitored: int) -> str:
+    """Place that holds a token while ``monitor`` suspects ``monitored``."""
+    return f"p{monitor}.susp.{monitored}"
+
+
+def add_failure_detector_pair(
+    model: SANModel,
+    monitor: int,
+    monitored: int,
+    settings: FDModelSettings | None,
+    initially_suspected: bool = False,
+) -> None:
+    """Add the failure-detector module of ``monitor`` watching ``monitored``.
+
+    Parameters
+    ----------
+    model:
+        The model under construction.
+    monitor, monitored:
+        The (ordered) pair of processes.
+    settings:
+        QoS-derived settings.  ``None`` builds a *static* detector (no
+        transitions): the module stays forever in its initial state, which
+        is what class-1 and class-2 scenarios need.
+    initially_suspected:
+        Initial state of the module (``True`` for a crashed ``monitored``
+        process in class-2 scenarios).
+    """
+    trust = trust_place(monitor, monitored)
+    suspect = suspect_place(monitor, monitored)
+
+    if settings is None:
+        model.add_place(Place(trust, 0 if initially_suspected else 1))
+        model.add_place(Place(suspect, 1 if initially_suspected else 0))
+        return
+
+    # Dynamic (class-3) module: the initial state is drawn probabilistically
+    # by an instantaneous activity, as in Fig. 5 of the paper.
+    init = f"p{monitor}.fdinit.{monitored}"
+    model.add_place(Place(trust, 0))
+    model.add_place(Place(suspect, 0))
+    model.add_place(Place(init, 1))
+    q = settings.suspicion_probability
+    model.add_activity(
+        InstantaneousActivity(
+            name=f"p{monitor}.fd.{monitored}.init",
+            input_arcs=[init],
+            cases=[
+                Case.build(probability=1.0 - q, output_arcs=[trust], label="trust"),
+                Case.build(probability=q, output_arcs=[suspect], label="suspect"),
+            ],
+            rank=6,
+        )
+    )
+    model.add_activity(
+        TimedActivity(
+            name=f"p{monitor}.fd.{monitored}.ts",
+            distribution=settings.trust_to_suspect_distribution(),
+            input_arcs=[trust],
+            cases=[Case.build(output_arcs=[suspect])],
+        )
+    )
+    model.add_activity(
+        TimedActivity(
+            name=f"p{monitor}.fd.{monitored}.st",
+            distribution=settings.suspect_to_trust_distribution(),
+            input_arcs=[suspect],
+            cases=[Case.build(output_arcs=[trust])],
+        )
+    )

@@ -1,0 +1,250 @@
+"""The contention-aware network submodel (§3.3 of the paper).
+
+The transmission of a message from process ``i`` to process ``j`` uses three
+resources in sequence -- the sender's CPU, the single shared network medium
+and the receiver's CPU -- and queues in front of each (Fig. 3 of the paper).
+In SAN terms each stage is modelled with the classical *seize / hold /
+release* idiom:
+
+* an **instantaneous** "seize" activity moves the message token together
+  with the resource token into an "in service" place (so mutual exclusion is
+  enforced by the actual removal of the resource token), and
+* a **timed** "hold" activity keeps it there for the stage's duration and
+  then releases the resource token and forwards the message token to the
+  next stage.
+
+Unicast messages have one chain of three stages; broadcast messages (the
+proposal and the decision, §5.1) occupy the sender CPU and the network once
+-- with a larger ``t_net`` -- and then fan out into one receiving-CPU stage
+per destination.
+
+Place naming convention (all created by these helpers):
+
+``msg.<type>.<i>.<j>.<stage>``  for unicast messages from i to j,
+``msg.<type>.<i>.<stage>``      for the shared stages of broadcasts from i,
+
+with stages ``sendq`` / ``sending`` / ``netq`` / ``neting`` / ``recvq`` /
+``recving``.  The shared resources are the places ``p<i>.cpu`` (one per
+process, one token) and ``network`` (one token), created by the caller.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.san.activities import Case, InstantaneousActivity, TimedActivity
+from repro.san.gates import InputGate, OutputGate
+from repro.san.marking import Marking
+from repro.san.model import SANModel
+from repro.san.places import Place
+from repro.stats.distributions import Distribution
+
+#: Place holding the single shared network-medium token.
+NETWORK_PLACE = "network"
+
+#: Rank offsets keeping the seize activities after the protocol's own
+#: instantaneous activities (which use ranks 0-9).
+SEIZE_SEND_RANK = 10
+SEIZE_NET_RANK = 11
+SEIZE_RECV_RANK = 12
+
+DeliveryEffect = Callable[[Marking], None]
+
+
+def cpu_place(process_id: int) -> str:
+    """Name of the CPU-resource place of process ``process_id``."""
+    return f"p{process_id}.cpu"
+
+
+def crashed_place(process_id: int) -> str:
+    """Name of the crashed-flag place of process ``process_id``."""
+    return f"p{process_id}.crashed"
+
+
+def unicast_send_queue(msg_type: str, src: int, dst: int) -> str:
+    """Entry place of the unicast path ``msg_type`` from ``src`` to ``dst``."""
+    return f"msg.{msg_type}.{src}.{dst}.sendq"
+
+
+def broadcast_send_queue(msg_type: str, src: int) -> str:
+    """Entry place of the broadcast path ``msg_type`` from ``src``."""
+    return f"msg.{msg_type}.{src}.sendq"
+
+
+def _not_crashed_gate(dst: int) -> InputGate:
+    place = crashed_place(dst)
+    return InputGate(
+        name=f"not_crashed.{dst}",
+        predicate=lambda marking, _place=place: marking[_place] == 0,
+        watched_places=(place,),
+    )
+
+
+def add_unicast_path(
+    model: SANModel,
+    msg_type: str,
+    src: int,
+    dst: int,
+    t_send: Distribution,
+    t_net: Distribution,
+    t_receive: Distribution,
+    delivery_effect: DeliveryEffect,
+) -> None:
+    """Add the three-stage unicast transmission path for one (type, src, dst).
+
+    ``delivery_effect`` is applied to the marking when the message finally
+    reaches the destination process (step 7 of Fig. 3) -- e.g. incrementing
+    the coordinator's estimate counter.
+    """
+    base = f"msg.{msg_type}.{src}.{dst}"
+    stages = ["sendq", "sending", "netq", "neting", "recvq", "recving"]
+    for stage in stages:
+        model.add_place(Place(f"{base}.{stage}", 0))
+
+    # Stage 1: sender CPU.
+    model.add_activity(
+        InstantaneousActivity(
+            name=f"{base}.seize_send",
+            input_arcs=[f"{base}.sendq", cpu_place(src)],
+            cases=[Case.build(output_arcs=[f"{base}.sending"])],
+            rank=SEIZE_SEND_RANK,
+        )
+    )
+    model.add_activity(
+        TimedActivity(
+            name=f"{base}.send",
+            distribution=t_send,
+            input_arcs=[f"{base}.sending"],
+            cases=[Case.build(output_arcs=[f"{base}.netq", cpu_place(src)])],
+        )
+    )
+
+    # Stage 2: shared network medium.
+    model.add_activity(
+        InstantaneousActivity(
+            name=f"{base}.seize_net",
+            input_arcs=[f"{base}.netq", NETWORK_PLACE],
+            cases=[Case.build(output_arcs=[f"{base}.neting"])],
+            rank=SEIZE_NET_RANK,
+        )
+    )
+    model.add_activity(
+        TimedActivity(
+            name=f"{base}.transmit",
+            distribution=t_net,
+            input_arcs=[f"{base}.neting"],
+            cases=[Case.build(output_arcs=[f"{base}.recvq", NETWORK_PLACE])],
+        )
+    )
+
+    # Stage 3: receiver CPU (skipped forever if the destination crashed).
+    model.add_activity(
+        InstantaneousActivity(
+            name=f"{base}.seize_recv",
+            input_arcs=[f"{base}.recvq", cpu_place(dst)],
+            input_gates=[_not_crashed_gate(dst)],
+            cases=[Case.build(output_arcs=[f"{base}.recving"])],
+            rank=SEIZE_RECV_RANK,
+        )
+    )
+    model.add_activity(
+        TimedActivity(
+            name=f"{base}.receive",
+            distribution=t_receive,
+            input_arcs=[f"{base}.recving"],
+            cases=[
+                Case.build(
+                    output_arcs=[cpu_place(dst)],
+                    output_gates=[
+                        OutputGate(name=f"{base}.deliver", function=delivery_effect)
+                    ],
+                )
+            ],
+        )
+    )
+
+
+def add_broadcast_path(
+    model: SANModel,
+    msg_type: str,
+    src: int,
+    destinations: Sequence[int],
+    t_send: Distribution,
+    t_net_broadcast: Distribution,
+    t_receive: Distribution,
+    delivery_effect_for: Callable[[int], DeliveryEffect],
+) -> None:
+    """Add the broadcast transmission path for one (type, src).
+
+    The sender-CPU and network stages are traversed once (the SAN model's
+    single-broadcast-message simplification, §5.1); the receive stage is
+    replicated per destination, each applying its own delivery effect.
+    """
+    base = f"msg.{msg_type}.{src}"
+    for stage in ["sendq", "sending", "netq", "neting"]:
+        model.add_place(Place(f"{base}.{stage}", 0))
+    for dst in destinations:
+        model.add_place(Place(f"{base}.{dst}.recvq", 0))
+        model.add_place(Place(f"{base}.{dst}.recving", 0))
+
+    model.add_activity(
+        InstantaneousActivity(
+            name=f"{base}.seize_send",
+            input_arcs=[f"{base}.sendq", cpu_place(src)],
+            cases=[Case.build(output_arcs=[f"{base}.sending"])],
+            rank=SEIZE_SEND_RANK,
+        )
+    )
+    model.add_activity(
+        TimedActivity(
+            name=f"{base}.send",
+            distribution=t_send,
+            input_arcs=[f"{base}.sending"],
+            cases=[Case.build(output_arcs=[f"{base}.netq", cpu_place(src)])],
+        )
+    )
+    model.add_activity(
+        InstantaneousActivity(
+            name=f"{base}.seize_net",
+            input_arcs=[f"{base}.netq", NETWORK_PLACE],
+            cases=[Case.build(output_arcs=[f"{base}.neting"])],
+            rank=SEIZE_NET_RANK,
+        )
+    )
+    fanout = [f"{base}.{dst}.recvq" for dst in destinations] + [NETWORK_PLACE]
+    model.add_activity(
+        TimedActivity(
+            name=f"{base}.transmit",
+            distribution=t_net_broadcast,
+            input_arcs=[f"{base}.neting"],
+            cases=[Case.build(output_arcs=fanout)],
+        )
+    )
+    for dst in destinations:
+        model.add_activity(
+            InstantaneousActivity(
+                name=f"{base}.{dst}.seize_recv",
+                input_arcs=[f"{base}.{dst}.recvq", cpu_place(dst)],
+                input_gates=[_not_crashed_gate(dst)],
+                cases=[Case.build(output_arcs=[f"{base}.{dst}.recving"])],
+                rank=SEIZE_RECV_RANK,
+            )
+        )
+        model.add_activity(
+            TimedActivity(
+                name=f"{base}.{dst}.receive",
+                distribution=t_receive,
+                input_arcs=[f"{base}.{dst}.recving"],
+                cases=[
+                    Case.build(
+                        output_arcs=[cpu_place(dst)],
+                        output_gates=[
+                            OutputGate(
+                                name=f"{base}.{dst}.deliver",
+                                function=delivery_effect_for(dst),
+                            )
+                        ],
+                    )
+                ],
+            )
+        )

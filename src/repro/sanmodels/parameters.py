@@ -1,0 +1,163 @@
+"""Parameters of the SAN consensus model.
+
+The network model of §3.3 needs three parameters: ``t_send``, ``t_receive``
+(assumed constant and equal, following earlier work) and ``t_net``.  The
+paper derives them from measurements: the measured end-to-end delay is
+fitted with a bi-modal uniform distribution (§5.1) and
+``t_net = end-to-end - 2 * t_send``; the value of ``t_send`` itself is
+calibrated by matching simulated and measured latency distributions
+(Figure 7b), yielding 0.025 ms on the paper's cluster.
+
+Broadcast messages are "treated specially ... in the model they appear as a
+single broadcast message, with a higher parameter t_network than unicast
+messages" (§5.1); the broadcast end-to-end fit is therefore separate and
+depends on the number of destinations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence
+
+from repro.stats.distributions import (
+    BimodalUniform,
+    Constant,
+    Distribution,
+    Mixture,
+    Uniform,
+)
+from repro.stats.fitting import fit_bimodal_uniform
+
+
+@dataclass(frozen=True)
+class BimodalFit:
+    """The parameters of a bi-modal uniform end-to-end delay fit (in ms)."""
+
+    low1: float = 0.1
+    high1: float = 0.13
+    low2: float = 0.145
+    high2: float = 0.35
+    p1: float = 0.8
+
+    def distribution(self) -> BimodalUniform:
+        """The fitted end-to-end delay distribution."""
+        return BimodalUniform(
+            low1=self.low1, high1=self.high1, low2=self.low2, high2=self.high2, p1=self.p1
+        )
+
+    def shifted(self, offset: float) -> Distribution:
+        """The fit shifted left by ``offset`` (clamped at zero).
+
+        Used to derive ``t_net`` from the end-to-end fit by subtracting
+        ``2 * t_send``.
+        """
+        low1 = max(0.0, self.low1 - offset)
+        high1 = max(low1 + 1e-9, self.high1 - offset)
+        low2 = max(0.0, self.low2 - offset)
+        high2 = max(low2 + 1e-9, self.high2 - offset)
+        return Mixture(
+            [(self.p1, Uniform(low1, high1)), (1.0 - self.p1, Uniform(low2, high2))]
+        )
+
+    def scaled(self, factor: float) -> "BimodalFit":
+        """A fit with all bounds multiplied by ``factor``."""
+        return BimodalFit(
+            low1=self.low1 * factor,
+            high1=self.high1 * factor,
+            low2=self.low2 * factor,
+            high2=self.high2 * factor,
+            p1=self.p1,
+        )
+
+    @staticmethod
+    def from_samples(samples: Sequence[float], body_probability: float = 0.8) -> "BimodalFit":
+        """Fit the bi-modal parameters from measured delays."""
+        fitted = fit_bimodal_uniform(samples, body_probability=body_probability)
+        return BimodalFit(
+            low1=fitted.low1,
+            high1=fitted.high1,
+            low2=fitted.low2,
+            high2=fitted.high2,
+            p1=fitted.p1,
+        )
+
+
+@dataclass(frozen=True)
+class SANParameters:
+    """All numeric parameters of the SAN consensus model.
+
+    Attributes
+    ----------
+    t_send_ms / t_receive_ms:
+        Constant CPU occupation for sending / receiving one message
+        (the paper calibrates both to 0.025 ms, §5.2).
+    unicast_fit:
+        Bi-modal uniform fit of the *end-to-end* delay of unicast messages.
+    broadcast_fits:
+        Optional explicit fits of the broadcast end-to-end delay, keyed by
+        the total number of processes n.  When absent for a given n, the
+        unicast fit scaled by ``1 + broadcast_growth * (n - 2)`` is used.
+    broadcast_growth:
+        Per-extra-destination growth factor of the broadcast delay used when
+        no explicit broadcast fit is available.
+    """
+
+    t_send_ms: float = 0.025
+    t_receive_ms: float = 0.025
+    unicast_fit: BimodalFit = field(default_factory=BimodalFit)
+    broadcast_fits: tuple[tuple[int, BimodalFit], ...] = ()
+    broadcast_growth: float = 0.30
+
+    def __post_init__(self) -> None:
+        if self.t_send_ms < 0 or self.t_receive_ms < 0:
+            raise ValueError("t_send_ms and t_receive_ms must be >= 0")
+
+    # ------------------------------------------------------------------
+    def with_t_send(self, t_send_ms: float) -> "SANParameters":
+        """A copy with ``t_send = t_receive = t_send_ms`` (the calibration knob)."""
+        return replace(self, t_send_ms=t_send_ms, t_receive_ms=t_send_ms)
+
+    # ------------------------------------------------------------------
+    def t_send_distribution(self) -> Distribution:
+        """Constant distribution for the sending-CPU stage."""
+        return Constant(self.t_send_ms)
+
+    def t_receive_distribution(self) -> Distribution:
+        """Constant distribution for the receiving-CPU stage."""
+        return Constant(self.t_receive_ms)
+
+    def t_net_unicast_distribution(self) -> Distribution:
+        """``t_net`` for unicast messages: end-to-end fit minus 2*t_send."""
+        return self.unicast_fit.shifted(self.t_send_ms + self.t_receive_ms)
+
+    def broadcast_fit_for(self, n_processes: int) -> BimodalFit:
+        """The broadcast end-to-end fit used for ``n_processes`` processes."""
+        for n, fit in self.broadcast_fits:
+            if n == n_processes:
+                return fit
+        factor = 1.0 + self.broadcast_growth * max(0, n_processes - 2)
+        return self.unicast_fit.scaled(factor)
+
+    def t_net_broadcast_distribution(self, n_processes: int) -> Distribution:
+        """``t_net`` for broadcast messages to ``n_processes - 1`` destinations."""
+        fit = self.broadcast_fit_for(n_processes)
+        return fit.shifted(self.t_send_ms + self.t_receive_ms)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_measured_delays(
+        unicast_delays: Sequence[float],
+        broadcast_delays_by_n: Optional[dict[int, Sequence[float]]] = None,
+        t_send_ms: float = 0.025,
+    ) -> "SANParameters":
+        """Build parameters from measured end-to-end delays (§5.1 workflow)."""
+        unicast_fit = BimodalFit.from_samples(unicast_delays)
+        broadcast_fits: list[tuple[int, BimodalFit]] = []
+        for n, delays in (broadcast_delays_by_n or {}).items():
+            broadcast_fits.append((int(n), BimodalFit.from_samples(delays)))
+        return SANParameters(
+            t_send_ms=t_send_ms,
+            t_receive_ms=t_send_ms,
+            unicast_fit=unicast_fit,
+            broadcast_fits=tuple(sorted(broadcast_fits)),
+        )

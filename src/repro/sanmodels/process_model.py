@@ -1,0 +1,244 @@
+"""The per-process state machine of the SAN consensus model (§3.2, Fig. 2).
+
+Each process is modelled by the state machine underlying one round of the
+algorithm; only the place corresponding to the current state is marked.
+The submodels of the paper map to the following activities:
+
+* **P1C** (coordinator's actions): ``propose`` -- fires once a majority of
+  estimates has been collected and broadcasts the proposal; ``decide`` --
+  fires once a majority of positive acknowledgements has been collected and
+  broadcasts the decision; ``abort_round`` -- fires when a negative
+  acknowledgement arrives and starts the next round.
+* **P1A1** (participant sends its estimate and waits for the proposal):
+  part of ``dispatch``.
+* **P1A2a** (participant received the proposal): ``ack``.
+* **P1A2b** (participant suspects the coordinator): ``nack``.
+* **P1A3** (start of a new round): the round place is incremented and the
+  ``start`` token re-deposited by ``ack`` / ``nack`` / ``abort_round``;
+  ``dispatch`` then routes the process into its coordinator or participant
+  role for the new round.
+
+As in the paper, messages are not tagged with their round number: a message
+addressed to process ``j`` is interpreted against ``j``'s current round,
+which is the "round number modulo n" simplification of §3.2 (process ``j``
+coordinates exactly the rounds congruent to ``j`` modulo ``n``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.consensus.messages import majority_of
+from repro.san.activities import Case, InstantaneousActivity
+from repro.san.gates import InputGate, OutputGate
+from repro.san.marking import Marking
+from repro.san.model import SANModel
+from repro.san.places import Place
+from repro.sanmodels.fd_model import suspect_place
+from repro.sanmodels.network_model import broadcast_send_queue, unicast_send_queue
+
+#: Global place counting processes that have decided (the latency reward and
+#: the stop predicate watch it).
+DECIDED_ANY_PLACE = "decided_any"
+
+
+def round_place(process_id: int) -> str:
+    """Place whose marking is the current round number of the process."""
+    return f"p{process_id}.round"
+
+
+def decided_place(process_id: int) -> str:
+    """Place marked once the process has decided."""
+    return f"p{process_id}.decided"
+
+
+def _coordinator(marking: Marking, process_id: int, n_processes: int) -> int:
+    return (marking[round_place(process_id)] - 1) % n_processes
+
+
+def add_process_state_machine(
+    model: SANModel,
+    process_id: int,
+    n_processes: int,
+    crashed: bool = False,
+) -> None:
+    """Add the round state machine of one process to ``model``.
+
+    The message transmission paths referenced by the output gates
+    (``msg.est.*``, ``msg.prop.*``, ...) must be added separately with the
+    helpers of :mod:`repro.sanmodels.network_model`; they are pure sinks /
+    sources of tokens from the state machine's point of view.
+    """
+    pid = process_id
+    majority = majority_of(n_processes)
+    p = f"p{pid}"
+
+    # ------------------------------------------------------------------
+    # Places
+    # ------------------------------------------------------------------
+    model.add_place(Place(f"{p}.cpu", 1))
+    model.add_place(Place(f"{p}.crashed", 1 if crashed else 0))
+    model.add_place(Place(f"{p}.start", 0 if crashed else 1))
+    model.add_place(Place(round_place(pid), 1))
+    for state in ("wait_est", "wait_ack", "wait_prop"):
+        model.add_place(Place(f"{p}.{state}", 0))
+    for counter in ("est_count", "ack_count", "nack_count", "prop_pending"):
+        model.add_place(Place(f"{p}.{counter}", 0))
+    model.add_place(Place(decided_place(pid), 0))
+    model.add_place(Place(DECIDED_ANY_PLACE, 0))
+
+    if crashed:
+        # A crashed process never acts: no activities are needed (its start
+        # place is empty), but incoming-message counters still exist so that
+        # deliveries addressed to it have somewhere to go.
+        return
+
+    # ------------------------------------------------------------------
+    # Output-gate functions (closures over this process's place names)
+    # ------------------------------------------------------------------
+    def dispatch_effect(marking: Marking) -> None:
+        coordinator = _coordinator(marking, pid, n_processes)
+        if coordinator == pid:
+            marking.add(f"{p}.wait_est")
+        else:
+            marking.add(unicast_send_queue("est", pid, coordinator))
+            marking.add(f"{p}.wait_prop")
+
+    def propose_effect(marking: Marking) -> None:
+        marking.add(broadcast_send_queue("prop", pid))
+        marking.add(f"{p}.wait_ack")
+
+    def decide_effect(marking: Marking) -> None:
+        marking.add(broadcast_send_queue("dec", pid))
+        if marking[decided_place(pid)] == 0:
+            marking[decided_place(pid)] = 1
+            marking.add(DECIDED_ANY_PLACE)
+
+    def abort_effect(marking: Marking) -> None:
+        marking[f"{p}.ack_count"] = 0
+        marking[f"{p}.nack_count"] = 0
+        marking[round_place(pid)] = marking[round_place(pid)] + 1
+        marking.add(f"{p}.start")
+
+    def ack_effect(marking: Marking) -> None:
+        coordinator = _coordinator(marking, pid, n_processes)
+        marking.add(unicast_send_queue("ack", pid, coordinator))
+        marking[round_place(pid)] = marking[round_place(pid)] + 1
+        marking.add(f"{p}.start")
+
+    def nack_effect(marking: Marking) -> None:
+        coordinator = _coordinator(marking, pid, n_processes)
+        marking.add(unicast_send_queue("nack", pid, coordinator))
+        marking[round_place(pid)] = marking[round_place(pid)] + 1
+        marking.add(f"{p}.start")
+
+    def output_gate(label: str, function: Callable[[Marking], None]) -> OutputGate:
+        return OutputGate(name=f"{p}.{label}", function=function)
+
+    # ------------------------------------------------------------------
+    # Activities
+    # ------------------------------------------------------------------
+    # New round dispatch (P1A1 / start of P1C).
+    model.add_activity(
+        InstantaneousActivity(
+            name=f"{p}.dispatch",
+            input_arcs=[f"{p}.start"],
+            cases=[Case.build(output_gates=[output_gate("og_dispatch", dispatch_effect)])],
+            rank=0,
+        )
+    )
+
+    # P1C: propose once a majority of estimates is available (the
+    # coordinator's own estimate is counted implicitly, hence majority - 1
+    # *received* estimates suffice).
+    model.add_activity(
+        InstantaneousActivity(
+            name=f"{p}.propose",
+            input_arcs=[f"{p}.wait_est"],
+            input_gates=[
+                InputGate(
+                    name=f"{p}.ig_majority_estimates",
+                    predicate=lambda marking, _place=f"{p}.est_count": (
+                        marking[_place] >= majority - 1
+                    ),
+                    watched_places=(f"{p}.est_count",),
+                )
+            ],
+            cases=[Case.build(output_gates=[output_gate("og_propose", propose_effect)])],
+            rank=1,
+        )
+    )
+
+    # P1C: decide once a majority of positive acknowledgements is available
+    # (again counting the coordinator's own acknowledgement implicitly).
+    model.add_activity(
+        InstantaneousActivity(
+            name=f"{p}.decide",
+            input_arcs=[f"{p}.wait_ack"],
+            input_gates=[
+                InputGate(
+                    name=f"{p}.ig_majority_acks",
+                    predicate=lambda marking, _place=f"{p}.ack_count": (
+                        marking[_place] >= majority - 1
+                    ),
+                    watched_places=(f"{p}.ack_count",),
+                )
+            ],
+            cases=[Case.build(output_gates=[output_gate("og_decide", decide_effect)])],
+            rank=2,
+        )
+    )
+
+    # P1C: pass to the next round upon a negative acknowledgement.
+    model.add_activity(
+        InstantaneousActivity(
+            name=f"{p}.abort_round",
+            input_arcs=[f"{p}.wait_ack"],
+            input_gates=[
+                InputGate(
+                    name=f"{p}.ig_any_nack",
+                    predicate=lambda marking, _place=f"{p}.nack_count": marking[_place] >= 1,
+                    watched_places=(f"{p}.nack_count",),
+                )
+            ],
+            cases=[Case.build(output_gates=[output_gate("og_abort", abort_effect)])],
+            rank=3,
+        )
+    )
+
+    # P1A2a: the proposal arrived -- acknowledge and move to the next round.
+    model.add_activity(
+        InstantaneousActivity(
+            name=f"{p}.ack",
+            input_arcs=[f"{p}.wait_prop", f"{p}.prop_pending"],
+            cases=[Case.build(output_gates=[output_gate("og_ack", ack_effect)])],
+            rank=4,
+        )
+    )
+
+    # P1A2b: the coordinator is suspected -- refuse and move to the next round.
+    suspicion_watch = tuple(
+        suspect_place(pid, peer) for peer in range(n_processes) if peer != pid
+    ) + (round_place(pid),)
+
+    def coordinator_suspected(marking: Marking) -> bool:
+        coordinator = _coordinator(marking, pid, n_processes)
+        if coordinator == pid:
+            return False
+        return marking[suspect_place(pid, coordinator)] >= 1
+
+    model.add_activity(
+        InstantaneousActivity(
+            name=f"{p}.nack",
+            input_arcs=[f"{p}.wait_prop"],
+            input_gates=[
+                InputGate(
+                    name=f"{p}.ig_coordinator_suspected",
+                    predicate=coordinator_suspected,
+                    watched_places=suspicion_watch,
+                )
+            ],
+            cases=[Case.build(output_gates=[output_gate("og_nack", nack_effect)])],
+            rank=5,
+        )
+    )

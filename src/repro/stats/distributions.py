@@ -1,0 +1,315 @@
+"""Parametric distributions used by the simulators.
+
+Both the SAN activities (:mod:`repro.san`) and the cluster testbed
+(:mod:`repro.cluster`) need random durations drawn from a variety of
+distributions.  UltraSAN -- the tool the paper used -- supports
+exponential, deterministic, uniform and Weibull activities among others
+(§3.1); the paper additionally fits a *bi-modal uniform* distribution to the
+measured end-to-end delay (§5.1): ``U[0.1, 0.13]`` with probability 0.8 and
+``U[0.145, 0.35]`` with probability 0.2 (milliseconds).
+
+Every distribution exposes ``sample(rng)`` (one draw from a numpy
+``Generator``) plus analytic ``mean()`` and ``variance()`` where they exist,
+so tests can check the sampler against the analytic moments.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+
+@runtime_checkable
+class Distribution(Protocol):
+    """Protocol implemented by every duration distribution."""
+
+    def sample(self, rng: np.random.Generator) -> float:
+        """Draw one value."""
+        ...
+
+    def mean(self) -> float:
+        """Analytic mean."""
+        ...
+
+    def variance(self) -> float:
+        """Analytic variance."""
+        ...
+
+
+@dataclass(frozen=True)
+class Constant:
+    """A degenerate (deterministic) distribution.
+
+    Used for ``t_send`` and ``t_receive``, which the paper assumes constant
+    (§3.3), and for the deterministic failure-detector transitions of §3.4.
+    """
+
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.value < 0:
+            raise ValueError(f"Constant value must be >= 0, got {self.value}")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self.value
+
+    def mean(self) -> float:
+        return self.value
+
+    def variance(self) -> float:
+        return 0.0
+
+
+@dataclass(frozen=True)
+class Uniform:
+    """Continuous uniform distribution on ``[low, high]``."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.high < self.low:
+            raise ValueError(f"Uniform requires low <= high, got [{self.low}, {self.high}]")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.uniform(self.low, self.high))
+
+    def mean(self) -> float:
+        return (self.low + self.high) / 2.0
+
+    def variance(self) -> float:
+        return (self.high - self.low) ** 2 / 12.0
+
+
+@dataclass(frozen=True)
+class Exponential:
+    """Exponential distribution parameterised by its *mean* (not rate)."""
+
+    mean_value: float
+
+    def __post_init__(self) -> None:
+        if self.mean_value <= 0:
+            raise ValueError(f"Exponential mean must be > 0, got {self.mean_value}")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(self.mean_value))
+
+    def mean(self) -> float:
+        return self.mean_value
+
+    def variance(self) -> float:
+        return self.mean_value**2
+
+    @property
+    def rate(self) -> float:
+        """The rate parameter lambda = 1/mean."""
+        return 1.0 / self.mean_value
+
+
+@dataclass(frozen=True)
+class Weibull:
+    """Weibull distribution with ``shape`` k and ``scale`` lambda."""
+
+    shape: float
+    scale: float
+
+    def __post_init__(self) -> None:
+        if self.shape <= 0 or self.scale <= 0:
+            raise ValueError("Weibull shape and scale must be > 0")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(self.scale * rng.weibull(self.shape))
+
+    def mean(self) -> float:
+        return self.scale * math.gamma(1.0 + 1.0 / self.shape)
+
+    def variance(self) -> float:
+        g1 = math.gamma(1.0 + 1.0 / self.shape)
+        g2 = math.gamma(1.0 + 2.0 / self.shape)
+        return self.scale**2 * (g2 - g1**2)
+
+
+@dataclass(frozen=True)
+class Normal:
+    """Normal distribution truncated at zero (durations cannot be negative)."""
+
+    mu: float
+    sigma: float
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ValueError(f"Normal sigma must be >= 0, got {self.sigma}")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return max(0.0, float(rng.normal(self.mu, self.sigma)))
+
+    def mean(self) -> float:
+        # Approximation ignoring the (small) truncation mass below zero.
+        return max(0.0, self.mu)
+
+    def variance(self) -> float:
+        return self.sigma**2
+
+
+@dataclass(frozen=True)
+class LogNormal:
+    """Log-normal distribution parameterised by the underlying normal."""
+
+    mu: float
+    sigma: float
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ValueError(f"LogNormal sigma must be >= 0, got {self.sigma}")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return float(rng.lognormal(self.mu, self.sigma))
+
+    def mean(self) -> float:
+        return math.exp(self.mu + self.sigma**2 / 2.0)
+
+    def variance(self) -> float:
+        return (math.exp(self.sigma**2) - 1.0) * math.exp(2 * self.mu + self.sigma**2)
+
+
+class Mixture:
+    """A finite mixture of component distributions.
+
+    Parameters
+    ----------
+    components:
+        Sequence of ``(weight, distribution)`` pairs.  Weights must be
+        positive; they are normalised to sum to one.
+    """
+
+    def __init__(self, components: Sequence[tuple[float, Distribution]]) -> None:
+        if not components:
+            raise ValueError("Mixture requires at least one component")
+        weights = np.asarray([w for w, _ in components], dtype=float)
+        if np.any(weights <= 0):
+            raise ValueError("Mixture weights must be > 0")
+        self._weights = weights / weights.sum()
+        self._dists = [d for _, d in components]
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Normalised component weights."""
+        return self._weights.copy()
+
+    @property
+    def components(self) -> list[Distribution]:
+        """The component distributions."""
+        return list(self._dists)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        index = int(rng.choice(len(self._dists), p=self._weights))
+        return self._dists[index].sample(rng)
+
+    def mean(self) -> float:
+        return float(sum(w * d.mean() for w, d in zip(self._weights, self._dists)))
+
+    def variance(self) -> float:
+        mean = self.mean()
+        second_moment = float(
+            sum(
+                w * (d.variance() + d.mean() ** 2)
+                for w, d in zip(self._weights, self._dists)
+            )
+        )
+        return second_moment - mean**2
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{w:.3g}*{d!r}" for w, d in zip(self._weights, self._dists)
+        )
+        return f"Mixture({parts})"
+
+
+class BimodalUniform(Mixture):
+    """The paper's bi-modal uniform fit of the end-to-end delay (§5.1).
+
+    With the default parameters this is exactly the unicast fit reported in
+    the paper: ``U[0.1, 0.13]`` with probability 0.8 and ``U[0.145, 0.35]``
+    with probability 0.2, in milliseconds.
+    """
+
+    def __init__(
+        self,
+        low1: float = 0.1,
+        high1: float = 0.13,
+        low2: float = 0.145,
+        high2: float = 0.35,
+        p1: float = 0.8,
+    ) -> None:
+        if not 0.0 < p1 < 1.0:
+            raise ValueError(f"p1 must be in (0, 1), got {p1}")
+        super().__init__(
+            [(p1, Uniform(low1, high1)), (1.0 - p1, Uniform(low2, high2))]
+        )
+        self.low1, self.high1 = low1, high1
+        self.low2, self.high2 = low2, high2
+        self.p1 = p1
+
+    def __repr__(self) -> str:
+        return (
+            f"BimodalUniform(U[{self.low1}, {self.high1}] w.p. {self.p1}, "
+            f"U[{self.low2}, {self.high2}] w.p. {1 - self.p1:.3g})"
+        )
+
+
+@dataclass(frozen=True)
+class Shifted:
+    """A distribution shifted right by a constant offset."""
+
+    offset: float
+    base: Distribution
+
+    def __post_init__(self) -> None:
+        if self.offset < 0:
+            raise ValueError(f"Shifted offset must be >= 0, got {self.offset}")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self.offset + self.base.sample(rng)
+
+    def mean(self) -> float:
+        return self.offset + self.base.mean()
+
+    def variance(self) -> float:
+        return self.base.variance()
+
+
+def distribution_from_spec(spec: Mapping[str, object]) -> Distribution:
+    """Build a distribution from a plain-dict specification.
+
+    This is the configuration-file entry point: experiment configurations
+    (and the benchmark harness) describe distributions as dictionaries such
+    as ``{"kind": "exponential", "mean": 2.5}``.
+
+    Supported kinds: ``constant``, ``uniform``, ``exponential``, ``weibull``,
+    ``normal``, ``lognormal``, ``bimodal_uniform``.
+    """
+    kind = str(spec.get("kind", "")).lower()
+    if kind == "constant":
+        return Constant(float(spec["value"]))
+    if kind == "uniform":
+        return Uniform(float(spec["low"]), float(spec["high"]))
+    if kind == "exponential":
+        return Exponential(float(spec["mean"]))
+    if kind == "weibull":
+        return Weibull(float(spec["shape"]), float(spec["scale"]))
+    if kind == "normal":
+        return Normal(float(spec["mu"]), float(spec["sigma"]))
+    if kind == "lognormal":
+        return LogNormal(float(spec["mu"]), float(spec["sigma"]))
+    if kind == "bimodal_uniform":
+        return BimodalUniform(
+            low1=float(spec.get("low1", 0.1)),
+            high1=float(spec.get("high1", 0.13)),
+            low2=float(spec.get("low2", 0.145)),
+            high2=float(spec.get("high2", 0.35)),
+            p1=float(spec.get("p1", 0.8)),
+        )
+    raise ValueError(f"unknown distribution kind: {kind!r}")

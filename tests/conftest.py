@@ -1,0 +1,72 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.config import ClusterConfig, NetworkParameters, SchedulerParameters
+from repro.des.simulator import Simulator
+from repro.experiments.settings import ExperimentSettings
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh simulator with a fixed seed."""
+    return Simulator(seed=12345)
+
+
+@pytest.fixture
+def cluster_config() -> ClusterConfig:
+    """A small 3-process cluster configuration with a fixed seed."""
+    return ClusterConfig(n_processes=3, seed=42)
+
+
+@pytest.fixture
+def cluster_config_5() -> ClusterConfig:
+    """A 5-process cluster configuration with a fixed seed."""
+    return ClusterConfig(n_processes=5, seed=43)
+
+
+@pytest.fixture
+def quiet_scheduler_config() -> ClusterConfig:
+    """A cluster whose OS scheduler introduces no jitter (deterministic timers)."""
+    return ClusterConfig(
+        n_processes=3,
+        seed=7,
+        scheduler=SchedulerParameters(
+            quantum_ms=10.0,
+            timer_granularity_ms=0.0,
+            wakeup_jitter_ms=1e-9,
+            preemption_probability=0.0,
+        ),
+    )
+
+
+@pytest.fixture
+def tiny_settings() -> ExperimentSettings:
+    """Minimal experiment settings for generator smoke tests."""
+    return ExperimentSettings(
+        executions=15,
+        class3_executions=10,
+        replications=15,
+        measured_process_counts=(3,),
+        simulated_process_counts=(3,),
+        class3_process_counts=(3,),
+        timeouts_ms=(2.0, 20.0),
+        t_send_candidates_ms=(0.01, 0.025),
+        delay_probes=60,
+        seed=1,
+    )
+
+
+@pytest.fixture
+def fast_network() -> NetworkParameters:
+    """Network parameters with reduced delays to speed up protocol tests."""
+    return NetworkParameters(
+        cpu_send_ms=0.02,
+        cpu_receive_ms=0.03,
+        stack_latency_fast_low_ms=0.01,
+        stack_latency_fast_high_ms=0.02,
+        stack_latency_slow_low_ms=0.03,
+        stack_latency_slow_high_ms=0.08,
+    )

@@ -1,0 +1,77 @@
+"""Tests of the cluster configuration and host clocks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.clock import HostClock
+from repro.cluster.config import ClusterConfig, NetworkParameters, SchedulerParameters
+
+
+def test_frame_time_scales_with_size_and_bandwidth():
+    params = NetworkParameters(bandwidth_mbps=100.0, frame_overhead_bytes=58)
+    base = params.frame_time_ms(100)
+    assert base == pytest.approx((158 * 8) / (100.0 * 1000.0))
+    assert params.frame_time_ms(1000) > base
+    slow = NetworkParameters(bandwidth_mbps=10.0, frame_overhead_bytes=58)
+    assert slow.frame_time_ms(100) == pytest.approx(10 * base)
+
+
+def test_cluster_config_validation():
+    with pytest.raises(ValueError):
+        ClusterConfig(n_processes=0)
+    with pytest.raises(ValueError):
+        ClusterConfig(message_size_bytes=0)
+
+
+def test_cluster_config_with_processes_and_seed_are_copies():
+    config = ClusterConfig(n_processes=3, seed=1)
+    other = config.with_processes(7).with_seed(9)
+    assert other.n_processes == 7 and other.seed == 9
+    assert config.n_processes == 3 and config.seed == 1
+
+
+def test_cluster_config_replace_and_as_dict():
+    config = ClusterConfig(n_processes=3)
+    replaced = config.replace(message_size_bytes=200)
+    assert replaced.message_size_bytes == 200
+    info = config.as_dict()
+    assert info["n_processes"] == 3
+    assert "cpu_send_ms" in info
+
+
+def test_clock_offset_and_resolution():
+    clock = HostClock(offset_ms=0.03, drift_ppm=0.0, resolution_ms=0.001)
+    assert clock.local_time(1.0) == pytest.approx(1.03, abs=1e-9)
+    # Readings are quantised to the resolution.
+    assert clock.local_time(1.00005) == pytest.approx(1.030, abs=1e-9)
+
+
+def test_clock_drift_accumulates_with_time():
+    clock = HostClock(offset_ms=0.0, drift_ppm=100.0, resolution_ms=0.001)
+    assert clock.local_time(10_000.0) == pytest.approx(10_001.0, abs=0.01)
+
+
+def test_clock_global_time_inverts_local_time():
+    clock = HostClock(offset_ms=0.02, drift_ppm=50.0, resolution_ms=0.001)
+    local = 123.456
+    assert clock.local_time(clock.global_time(local)) == pytest.approx(local, abs=0.001)
+
+
+def test_synchronized_clock_stays_within_the_ntp_precision():
+    rng = np.random.default_rng(0)
+    for _ in range(50):
+        clock = HostClock.synchronized(rng, precision_ms=0.05, drift_ppm=20.0, resolution_ms=0.001)
+        assert abs(clock.offset_ms) <= 0.05
+        assert abs(clock.drift_ppm) <= 20.0
+
+
+def test_clock_rejects_nonpositive_resolution():
+    with pytest.raises(ValueError):
+        HostClock(resolution_ms=0.0)
+
+
+def test_scheduler_parameters_defaults_match_linux_2_2():
+    scheduler = SchedulerParameters()
+    assert scheduler.quantum_ms == 10.0

@@ -1,0 +1,166 @@
+"""Tests of the Neko-like protocol stack and host OS scheduling effects."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.config import ClusterConfig, SchedulerParameters
+from repro.cluster.host import OSScheduler
+from repro.cluster.message import Message
+from repro.cluster.neko import ProtocolLayer
+
+
+class _Recorder(ProtocolLayer):
+    def __init__(self, sim, name):
+        super().__init__(sim, name)
+        self.delivered = []
+        self.sent = []
+        self.started = False
+
+    def start(self):
+        self.started = True
+
+    def on_deliver(self, message):
+        self.delivered.append(message)
+        self.deliver_up(message)
+
+    def on_send(self, message):
+        self.sent.append(message)
+        self.send_down(message)
+
+
+class _Tagger(ProtocolLayer):
+    """A middle layer that tags payloads in both directions."""
+
+    def on_send(self, message):
+        message.payload["tagged_down"] = True
+        self.send_down(message)
+
+    def on_deliver(self, message):
+        message.payload["tagged_up"] = True
+        self.deliver_up(message)
+
+
+def _build(config):
+    cluster = Cluster(config)
+    cluster.create_processes(
+        lambda sim, pid: [_Recorder(sim, f"app{pid}"), _Tagger(sim, f"mid{pid}")]
+    )
+    cluster.start_all()
+    return cluster
+
+
+def test_layers_are_wired_and_started(cluster_config):
+    cluster = _build(cluster_config)
+    process = cluster.process(0)
+    assert process.top_layer.name == "app0"
+    assert process.bottom_layer.name == "mid0"
+    assert process.layer(_Recorder).started
+    assert process.layer(_Tagger).process is process
+
+
+def test_messages_travel_down_and_up_through_every_layer(cluster_config):
+    cluster = _build(cluster_config)
+    app0 = cluster.process(0).layer(_Recorder)
+    message = Message(sender=0, destination=1, msg_type="hello")
+    app0.send_down(message)
+    cluster.run(until=10.0)
+    delivered = cluster.process(1).layer(_Recorder).delivered
+    assert len(delivered) == 1
+    assert delivered[0].payload.get("tagged_up") is True
+    assert message.payload.get("tagged_down") is True
+
+
+def test_crashed_process_does_not_start_or_receive(cluster_config):
+    cluster = Cluster(cluster_config)
+    cluster.create_processes(lambda sim, pid: [_Recorder(sim, f"app{pid}")])
+    cluster.crash_process(1)
+    cluster.start_all()
+    assert not cluster.process(1).layer(_Recorder).started
+    cluster.process(0).layer(_Recorder).send_down(
+        Message(sender=0, destination=1, msg_type="hello")
+    )
+    cluster.run(until=10.0)
+    assert cluster.process(1).layer(_Recorder).delivered == []
+    assert cluster.correct_processes() == [0, 2]
+
+
+def test_crashed_process_sends_nothing(cluster_config):
+    cluster = Cluster(cluster_config)
+    cluster.create_processes(lambda sim, pid: [_Recorder(sim, f"app{pid}")])
+    cluster.start_all()
+    cluster.crash_process(0)
+    cluster.process(0).layer(_Recorder).send_down(
+        Message(sender=0, destination=1, msg_type="hello")
+    )
+    cluster.run(until=10.0)
+    assert cluster.process(1).layer(_Recorder).delivered == []
+
+
+def test_layer_lookup_by_type_raises_for_missing_layer(cluster_config):
+    cluster = _build(cluster_config)
+    with pytest.raises(KeyError):
+        cluster.process(0).layer(ClusterConfig)  # not a layer type in the stack
+
+
+def test_process_requires_at_least_one_layer(cluster_config):
+    cluster = Cluster(cluster_config)
+    with pytest.raises(ValueError):
+        cluster.create_processes(lambda sim, pid: [])
+
+
+def test_creating_processes_twice_is_rejected(cluster_config):
+    cluster = Cluster(cluster_config)
+    cluster.create_processes(lambda sim, pid: [_Recorder(sim, f"a{pid}")])
+    with pytest.raises(RuntimeError):
+        cluster.create_processes(lambda sim, pid: [_Recorder(sim, f"b{pid}")])
+
+
+def test_host_local_time_differs_from_global_time(cluster_config):
+    cluster = _build(cluster_config)
+    cluster.run(until=5.0)
+    offsets = {host.clock.offset_ms for host in cluster.hosts}
+    assert len(offsets) > 1  # NTP sync error differs per host
+    for host in cluster.hosts:
+        assert abs(host.local_time() - 5.0) < 0.2
+
+
+def test_os_scheduler_sleep_never_shorter_than_requested():
+    scheduler = OSScheduler(SchedulerParameters(), np.random.default_rng(1))
+    for requested in (0.7, 3.0, 21.0):
+        for _ in range(200):
+            assert scheduler.effective_sleep(requested) >= requested
+
+
+def test_os_scheduler_granularity_rounds_up():
+    params = SchedulerParameters(
+        timer_granularity_ms=10.0, wakeup_jitter_ms=1e-9, preemption_probability=0.0
+    )
+    scheduler = OSScheduler(params, np.random.default_rng(1))
+    assert scheduler.effective_sleep(0.7) >= 10.0
+    assert scheduler.effective_sleep(21.0) >= 30.0
+
+
+def test_os_scheduler_preemption_adds_occasional_large_delays():
+    params = SchedulerParameters(
+        timer_granularity_ms=1.0,
+        wakeup_jitter_ms=1e-6,
+        preemption_probability=1.0,
+        preemption_max_fraction=1.0,
+        quantum_ms=10.0,
+    )
+    scheduler = OSScheduler(params, np.random.default_rng(2))
+    delays = [scheduler.effective_sleep(1.0) - 1.0 for _ in range(300)]
+    assert max(delays) > 5.0
+
+
+def test_host_sleep_uses_scheduler_effects(quiet_scheduler_config):
+    cluster = _build(quiet_scheduler_config)
+    host = cluster.hosts[0]
+    fired = []
+    host.sleep(2.0, lambda: fired.append(cluster.sim.now))
+    cluster.run(until=10.0)
+    assert len(fired) == 1
+    assert fired[0] == pytest.approx(2.0, abs=0.01)

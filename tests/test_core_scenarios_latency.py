@@ -1,0 +1,117 @@
+"""Tests of run-class scenarios and the latency recorder."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.latency import LatencyRecorder
+from repro.core.scenarios import RunClass, Scenario
+
+
+# ----------------------------------------------------------------------
+# Scenarios
+# ----------------------------------------------------------------------
+def test_no_failures_scenario():
+    scenario = Scenario.no_failures()
+    assert scenario.run_class is RunClass.NO_FAILURES
+    assert scenario.crashed == ()
+    assert not scenario.uses_heartbeat_fd
+    assert scenario.heartbeat_period_ms is None
+    assert "no failures" in scenario.label()
+
+
+def test_coordinator_crash_scenario_crashes_process_zero():
+    scenario = Scenario.coordinator_crash()
+    assert scenario.run_class is RunClass.CRASH
+    assert scenario.crashed == (0,)
+
+
+def test_participant_crash_scenario_defaults_to_process_one():
+    scenario = Scenario.participant_crash()
+    assert scenario.crashed == (1,)
+    with pytest.raises(ValueError):
+        Scenario.participant_crash(0)
+
+
+def test_wrong_suspicions_scenario_defaults_heartbeat_period_to_0_7_t():
+    scenario = Scenario.wrong_suspicions(timeout_ms=10.0)
+    assert scenario.uses_heartbeat_fd
+    assert scenario.heartbeat_period_ms == pytest.approx(7.0)
+    override = Scenario.wrong_suspicions(timeout_ms=10.0, heartbeat_period_ms=3.0)
+    assert override.heartbeat_period_ms == 3.0
+
+
+def test_scenario_validation_rules():
+    with pytest.raises(ValueError):
+        Scenario(run_class=RunClass.CRASH)  # crash without crashed processes
+    with pytest.raises(ValueError):
+        Scenario(run_class=RunClass.NO_FAILURES, crashed=(1,))
+    with pytest.raises(ValueError):
+        Scenario(run_class=RunClass.WRONG_SUSPICIONS)  # missing timeout
+    with pytest.raises(ValueError):
+        Scenario.wrong_suspicions(timeout_ms=-1.0)
+
+
+# ----------------------------------------------------------------------
+# Latency recorder
+# ----------------------------------------------------------------------
+def test_recorder_tracks_the_first_decision_per_instance():
+    recorder = LatencyRecorder()
+    recorder.register_start(0, 10.0)
+    recorder.decision_callback(2, 0, "v", local_time=11.4, global_time=11.39)
+    recorder.decision_callback(0, 0, "v", local_time=11.2, global_time=11.21)
+    recorder.decision_callback(1, 0, "v", local_time=11.9, global_time=11.88)
+    entry = recorder.instances[0]
+    assert entry.first_decider == 0
+    assert entry.latency == pytest.approx(1.2)
+    assert entry.latency_global == pytest.approx(1.21)
+    assert entry.deciders == 3
+    assert entry.decided
+
+
+def test_recorder_undecided_instances_have_nan_latency():
+    recorder = LatencyRecorder()
+    recorder.register_start(0, 1.0)
+    recorder.register_start(1, 11.0)
+    recorder.decision_callback(0, 1, "v", 11.5, 11.5)
+    assert recorder.undecided_instances() == [0]
+    assert math.isnan(recorder.instances[0].latency)
+    assert recorder.latencies() == [pytest.approx(0.5)]
+
+
+def test_recorder_latency_lists_cdf_and_summary():
+    recorder = LatencyRecorder()
+    for instance, latency in enumerate([1.0, 2.0, 3.0, 4.0]):
+        recorder.register_start(instance, 10.0 * instance)
+        recorder.decision_callback(0, instance, "v", 10.0 * instance + latency, 0.0)
+    assert recorder.latencies() == [1.0, 2.0, 3.0, 4.0]
+    assert recorder.cdf().median() == pytest.approx(2.0)
+    assert recorder.summary().mean == pytest.approx(2.5)
+
+
+def test_recorder_detects_agreement_violations():
+    recorder = LatencyRecorder()
+    recorder.register_start(0, 0.0)
+    recorder.decision_callback(0, 0, "a", 1.0, 1.0)
+    recorder.decision_callback(1, 0, "a", 1.1, 1.1)
+    assert recorder.check_agreement()
+    recorder.decision_callback(2, 0, "b", 1.2, 1.2)
+    assert not recorder.check_agreement()
+
+
+def test_recorder_handles_decision_before_registration():
+    recorder = LatencyRecorder()
+    recorder.decision_callback(0, 7, "v", 3.0, 3.0)
+    recorder.register_start(7, 1.0)
+    assert recorder.instances[0].latency == pytest.approx(2.0)
+
+
+def test_recorder_decisions_accessor_returns_all_records():
+    recorder = LatencyRecorder()
+    recorder.register_start(0, 0.0)
+    recorder.decision_callback(0, 0, "v", 1.0, 1.0)
+    recorder.decision_callback(1, 0, "v", 2.0, 2.0)
+    assert len(recorder.decisions(0)) == 2
+    assert recorder.decisions(99) == []

@@ -1,0 +1,50 @@
+"""Tests of the Event lifecycle and ordering."""
+
+from __future__ import annotations
+
+from repro.des.event import Event, EventState
+
+
+def _event(time, priority=0, seq=0):
+    return Event(time, priority, seq, lambda: None)
+
+
+def test_new_event_is_pending():
+    event = _event(1.0)
+    assert event.pending
+    assert not event.cancelled
+    assert not event.fired
+    assert event.state is EventState.PENDING
+
+
+def test_cancel_transitions_to_cancelled():
+    event = _event(1.0)
+    assert event.cancel()
+    assert event.cancelled
+    assert not event.pending
+
+
+def test_cancel_twice_returns_false():
+    event = _event(1.0)
+    assert event.cancel()
+    assert not event.cancel()
+
+
+def test_ordering_by_time():
+    assert _event(1.0) < _event(2.0)
+    assert _event(1.0) <= _event(1.0)
+
+
+def test_ordering_by_priority_when_times_equal():
+    assert _event(1.0, priority=-1) < _event(1.0, priority=0)
+
+
+def test_ordering_by_sequence_when_time_and_priority_equal():
+    assert _event(1.0, seq=1) < _event(1.0, seq=2)
+
+
+def test_repr_contains_state_and_time():
+    event = _event(2.5)
+    text = repr(event)
+    assert "2.5" in text
+    assert "pending" in text

@@ -1,0 +1,80 @@
+"""Tests of the SimProcess timer helpers."""
+
+from __future__ import annotations
+
+from repro.des.process import SimProcess
+
+
+def test_set_timer_fires_after_delay(sim):
+    process = SimProcess(sim, "p")
+    fired = []
+    process.set_timer("t", 3.0, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [3.0]
+
+
+def test_rearming_a_timer_cancels_the_previous_one(sim):
+    process = SimProcess(sim, "p")
+    fired = []
+    process.set_timer("t", 3.0, fired.append, "first")
+    process.set_timer("t", 5.0, fired.append, "second")
+    sim.run()
+    assert fired == ["second"]
+
+
+def test_cancel_timer(sim):
+    process = SimProcess(sim, "p")
+    fired = []
+    process.set_timer("t", 1.0, fired.append, "x")
+    assert process.cancel_timer("t")
+    sim.run()
+    assert fired == []
+    assert not process.cancel_timer("t")
+
+
+def test_timer_pending_reflects_state(sim):
+    process = SimProcess(sim, "p")
+    process.set_timer("t", 1.0, lambda: None)
+    assert process.timer_pending("t")
+    sim.run()
+    assert not process.timer_pending("t")
+
+
+def test_cancel_all_timers(sim):
+    process = SimProcess(sim, "p")
+    fired = []
+    process.set_timer("a", 1.0, fired.append, "a")
+    process.set_timer("b", 2.0, fired.append, "b")
+    assert process.cancel_all_timers() == 2
+    sim.run()
+    assert fired == []
+
+
+def test_independent_timers_fire_independently(sim):
+    process = SimProcess(sim, "p")
+    fired = []
+    process.set_timer("a", 1.0, fired.append, "a")
+    process.set_timer("b", 2.0, fired.append, "b")
+    sim.run()
+    assert fired == ["a", "b"]
+
+
+def test_timer_can_rearm_itself(sim):
+    process = SimProcess(sim, "p")
+    fired = []
+
+    def tick():
+        fired.append(sim.now)
+        if len(fired) < 3:
+            process.set_timer("tick", 1.0, tick)
+
+    process.set_timer("tick", 1.0, tick)
+    sim.run()
+    assert fired == [1.0, 2.0, 3.0]
+
+
+def test_now_property_tracks_simulator_clock(sim):
+    process = SimProcess(sim, "p")
+    sim.schedule(4.0, lambda: None)
+    sim.run()
+    assert process.now == 4.0

@@ -1,0 +1,67 @@
+"""Tests of the named random streams."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.des.random import RandomStreams, _stable_hash
+
+
+def test_same_seed_same_stream_name_gives_identical_sequences():
+    a = RandomStreams(7).stream("net")
+    b = RandomStreams(7).stream("net")
+    assert [float(a.random()) for _ in range(5)] == [float(b.random()) for _ in range(5)]
+
+
+def test_different_names_give_different_sequences():
+    streams = RandomStreams(7)
+    a = streams.stream("net")
+    b = streams.stream("cpu")
+    assert [float(a.random()) for _ in range(5)] != [float(b.random()) for _ in range(5)]
+
+
+def test_different_seeds_give_different_sequences():
+    a = RandomStreams(1).stream("net")
+    b = RandomStreams(2).stream("net")
+    assert [float(a.random()) for _ in range(5)] != [float(b.random()) for _ in range(5)]
+
+
+def test_stream_is_cached_and_stateful():
+    streams = RandomStreams(3)
+    first = streams.stream("x")
+    value = float(first.random())
+    again = streams.stream("x")
+    assert first is again
+    assert float(again.random()) != value  # state advanced, not reset
+
+
+def test_contains_len_and_iter():
+    streams = RandomStreams(3)
+    assert "a" not in streams
+    streams.stream("a")
+    streams.stream("b")
+    assert "a" in streams
+    assert len(streams) == 2
+    assert set(iter(streams)) == {"a", "b"}
+
+
+def test_spawn_is_deterministic():
+    child1 = RandomStreams(9).spawn("replica-1")
+    child2 = RandomStreams(9).spawn("replica-1")
+    assert float(child1.stream("s").random()) == float(child2.stream("s").random())
+
+
+def test_spawn_children_differ_by_name():
+    parent = RandomStreams(9)
+    a = parent.spawn("replica-1").stream("s")
+    b = parent.spawn("replica-2").stream("s")
+    assert float(a.random()) != float(b.random())
+
+
+def test_stable_hash_is_deterministic_and_distinct():
+    assert _stable_hash("abc") == _stable_hash("abc")
+    assert _stable_hash("abc") != _stable_hash("abd")
+
+
+def test_streams_produce_numpy_generators():
+    assert isinstance(RandomStreams(0).stream("x"), np.random.Generator)

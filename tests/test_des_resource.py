@@ -1,0 +1,110 @@
+"""Tests of the FIFO resource used for CPUs and the shared network medium."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.des.resource import Resource
+
+
+def test_single_request_is_served_after_its_service_time(sim):
+    resource = Resource(sim, "cpu")
+    done = []
+    resource.request(2.0, lambda: done.append(sim.now))
+    sim.run()
+    assert done == [2.0]
+
+
+def test_requests_are_served_fifo_and_serialised(sim):
+    resource = Resource(sim, "cpu")
+    done = []
+    resource.request(2.0, lambda: done.append(("a", sim.now)))
+    resource.request(3.0, lambda: done.append(("b", sim.now)))
+    resource.request(1.0, lambda: done.append(("c", sim.now)))
+    sim.run()
+    assert done == [("a", 2.0), ("b", 5.0), ("c", 6.0)]
+
+
+def test_capacity_two_serves_two_concurrently(sim):
+    resource = Resource(sim, "dual", capacity=2)
+    done = []
+    for label in ("a", "b", "c"):
+        resource.request(2.0, lambda label=label: done.append((label, sim.now)))
+    sim.run()
+    assert done == [("a", 2.0), ("b", 2.0), ("c", 4.0)]
+
+
+def test_requests_submitted_later_queue_behind_in_progress_work(sim):
+    resource = Resource(sim, "cpu")
+    done = []
+    resource.request(5.0, lambda: done.append(("a", sim.now)))
+    sim.schedule(1.0, lambda: resource.request(1.0, lambda: done.append(("b", sim.now))))
+    sim.run()
+    assert done == [("a", 5.0), ("b", 6.0)]
+
+
+def test_queue_length_and_busy_flags(sim):
+    resource = Resource(sim, "cpu")
+    resource.request(1.0, lambda: None)
+    resource.request(1.0, lambda: None)
+    assert resource.busy
+    assert resource.in_service == 1
+    assert resource.queue_length == 1
+    sim.run()
+    assert not resource.busy
+    assert resource.queue_length == 0
+
+
+def test_cancel_queued_request(sim):
+    resource = Resource(sim, "cpu")
+    done = []
+    resource.request(2.0, lambda: done.append("a"))
+    second = resource.request(2.0, lambda: done.append("b"))
+    second.cancel()
+    sim.run()
+    assert done == ["a"]
+
+
+def test_cancel_in_service_request_has_no_effect(sim):
+    resource = Resource(sim, "cpu")
+    done = []
+    first = resource.request(2.0, lambda: done.append("a"))
+    first.cancel()  # already started: completes anyway
+    sim.run()
+    assert done == ["a"]
+
+
+def test_stats_track_busy_time_and_waits(sim):
+    resource = Resource(sim, "cpu")
+    resource.request(2.0, lambda: None)
+    resource.request(2.0, lambda: None)
+    sim.run()
+    assert resource.stats.completed == 2
+    assert resource.stats.busy_time == pytest.approx(4.0)
+    assert resource.stats.mean_wait() == pytest.approx(1.0)  # (0 + 2) / 2
+    assert 0.0 < resource.stats.utilization(elapsed=sim.now) <= 1.0
+
+
+def test_zero_capacity_rejected(sim):
+    with pytest.raises(ValueError):
+        Resource(sim, "bad", capacity=0)
+
+
+def test_negative_service_time_rejected(sim):
+    resource = Resource(sim, "cpu")
+    with pytest.raises(ValueError):
+        resource.request(-1.0, lambda: None)
+
+
+def test_callbacks_may_issue_new_requests(sim):
+    resource = Resource(sim, "cpu")
+    done = []
+
+    def chain(remaining):
+        done.append(sim.now)
+        if remaining:
+            resource.request(1.0, chain, remaining - 1)
+
+    resource.request(1.0, chain, 2)
+    sim.run()
+    assert done == [1.0, 2.0, 3.0]

@@ -1,0 +1,157 @@
+"""Tests of the discrete-event simulation loop."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.des.simulator import SimulationError, Simulator
+
+
+def test_clock_starts_at_zero(sim):
+    assert sim.now == 0.0
+
+
+def test_schedule_and_run_executes_callbacks_in_time_order(sim):
+    order = []
+    sim.schedule(5.0, order.append, "b")
+    sim.schedule(1.0, order.append, "a")
+    sim.schedule(9.0, order.append, "c")
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 9.0
+
+
+def test_same_time_events_fire_in_fifo_order(sim):
+    order = []
+    for label in ("first", "second", "third"):
+        sim.schedule(2.0, order.append, label)
+    sim.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_priority_breaks_ties_before_fifo(sim):
+    order = []
+    sim.schedule(1.0, order.append, "late", priority=5)
+    sim.schedule(1.0, order.append, "early", priority=-5)
+    sim.run()
+    assert order == ["early", "late"]
+
+
+def test_run_until_stops_the_clock_at_the_horizon(sim):
+    fired = []
+    sim.schedule(3.0, fired.append, "x")
+    sim.schedule(10.0, fired.append, "y")
+    sim.run(until=5.0)
+    assert fired == ["x"]
+    assert sim.now == 5.0
+    sim.run()
+    assert fired == ["x", "y"]
+
+
+def test_schedule_at_absolute_time(sim):
+    times = []
+    sim.schedule_at(4.5, lambda: times.append(sim.now))
+    sim.run()
+    assert times == [4.5]
+
+
+def test_scheduling_in_the_past_raises(sim):
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_cancel_prevents_execution(sim):
+    fired = []
+    event = sim.schedule(1.0, fired.append, "x")
+    assert sim.cancel(event)
+    sim.run()
+    assert fired == []
+    assert not sim.cancel(event)  # already cancelled
+
+
+def test_callbacks_can_schedule_further_events(sim):
+    seen = []
+
+    def chain(count):
+        seen.append(sim.now)
+        if count > 0:
+            sim.schedule(1.0, chain, count - 1)
+
+    sim.schedule(1.0, chain, 3)
+    sim.run()
+    assert seen == [1.0, 2.0, 3.0, 4.0]
+
+
+def test_stop_interrupts_the_run(sim):
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(2.0, lambda: sim.stop())
+    sim.schedule(3.0, fired.append, "b")
+    sim.run()
+    assert fired == ["a"]
+    # A subsequent run resumes with the remaining events.
+    sim.run()
+    assert fired == ["a", "b"]
+
+
+def test_max_events_limits_execution(sim):
+    fired = []
+    for index in range(10):
+        sim.schedule(index + 1.0, fired.append, index)
+    sim.run(max_events=4)
+    assert fired == [0, 1, 2, 3]
+
+
+def test_events_processed_and_pending_counts(sim):
+    sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.pending_events == 2
+    sim.run()
+    assert sim.pending_events == 0
+    assert sim.events_processed == 2
+
+
+def test_call_now_runs_at_current_time(sim):
+    times = []
+    sim.schedule(2.0, lambda: sim.call_now(lambda: times.append(sim.now)))
+    sim.run()
+    assert times == [2.0]
+
+
+def test_run_until_with_empty_queue_advances_clock(sim):
+    sim.run(until=7.0)
+    assert sim.now == 7.0
+
+
+def test_reset_clears_pending_events(sim):
+    sim.schedule(1.0, lambda: None)
+    sim.reset()
+    assert sim.pending_events == 0
+    assert sim.now == 0.0
+
+
+def test_reentrant_run_raises(sim):
+    def nested():
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    sim.schedule(1.0, nested)
+    sim.run()
+
+
+def test_trace_hook_sees_every_event(sim):
+    seen = []
+    sim.add_trace_hook(lambda event: seen.append(event.time))
+    sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    sim.run()
+    assert seen == [1.0, 2.0]
+
+
+def test_peek_returns_next_event_time(sim):
+    assert sim.peek() is None
+    sim.schedule(3.0, lambda: None)
+    sim.schedule(1.0, lambda: None)
+    assert sim.peek() == 1.0

@@ -1,0 +1,62 @@
+"""Tests of the experiment-scale settings."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.config import ClusterConfig
+from repro.experiments.settings import ExperimentSettings, scaled_timeouts
+
+
+def test_presets_are_ordered_by_scale():
+    smoke, quick, full = (
+        ExperimentSettings.smoke(),
+        ExperimentSettings.quick(),
+        ExperimentSettings.full(),
+    )
+    assert smoke.executions < quick.executions < full.executions
+    assert smoke.replications < quick.replications < full.replications
+    assert full.class3_executions == 1000  # the paper's per-run count
+
+
+def test_from_environment_selects_the_named_preset(monkeypatch):
+    monkeypatch.setenv("REPRO_EXPERIMENT_SCALE", "smoke")
+    assert ExperimentSettings.from_environment().executions == ExperimentSettings.smoke().executions
+    monkeypatch.setenv("REPRO_EXPERIMENT_SCALE", "bogus")
+    with pytest.raises(ValueError):
+        ExperimentSettings.from_environment()
+    monkeypatch.delenv("REPRO_EXPERIMENT_SCALE")
+    assert ExperimentSettings.from_environment().executions == ExperimentSettings.quick().executions
+
+
+def test_point_seed_is_deterministic_and_index_sensitive():
+    settings = ExperimentSettings()
+    assert settings.point_seed(1, 2, 3) == settings.point_seed(1, 2, 3)
+    assert settings.point_seed(1, 2, 3) != settings.point_seed(1, 2, 4)
+    assert settings.point_seed(1) != settings.point_seed(2)
+
+
+def test_cluster_for_builds_a_point_configuration():
+    settings = ExperimentSettings()
+    config = settings.cluster_for(7, 99)
+    assert config.n_processes == 7
+    assert config.seed == 99
+
+
+def test_with_cluster_overrides_the_base_configuration():
+    base = ClusterConfig(message_size_bytes=256)
+    settings = ExperimentSettings().with_cluster(base)
+    assert settings.cluster_for(3, 1).message_size_bytes == 256
+
+
+def test_class3_separation_grows_with_the_timeout():
+    settings = ExperimentSettings()
+    assert settings.class3_separation_ms(1.0) == 10.0
+    assert settings.class3_separation_ms(30.0) == 60.0
+
+
+def test_scaled_timeouts_clips_small_timeouts_for_large_clusters():
+    timeouts = (1.0, 2.0, 10.0, 100.0)
+    assert scaled_timeouts(timeouts, 5) == timeouts
+    assert scaled_timeouts(timeouts, 9) == (2.0, 10.0, 100.0)
+    assert scaled_timeouts(timeouts, 11, max_for_large_n=50.0) == (2.0, 10.0)

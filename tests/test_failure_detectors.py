@@ -1,0 +1,247 @@
+"""Tests of the failure detectors: static, heartbeat and QoS-driven."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.config import ClusterConfig, SchedulerParameters
+from repro.cluster.message import Message
+from repro.cluster.neko import ProtocolLayer
+from repro.failure_detectors.abstract import QoSDrivenFailureDetector
+from repro.failure_detectors.base import FailureDetectorLayer
+from repro.failure_detectors.heartbeat import HEARTBEAT, HeartbeatFailureDetector
+from repro.failure_detectors.history import FailureDetectorHistory
+from repro.failure_detectors.static import StaticFailureDetector
+
+
+class _App(ProtocolLayer):
+    """Minimal application layer sitting above a failure detector."""
+
+    def __init__(self, sim, name):
+        super().__init__(sim, name)
+        self.delivered = []
+
+    def on_deliver(self, message):
+        self.delivered.append(message)
+
+
+def _heartbeat_cluster(config, timeout_ms, history=None):
+    cluster = Cluster(config)
+
+    def stack(sim, pid):
+        return [
+            _App(sim, f"app{pid}"),
+            HeartbeatFailureDetector(
+                sim, timeout_ms=timeout_ms, history=history, name=f"fd{pid}"
+            ),
+        ]
+
+    cluster.create_processes(stack)
+    return cluster
+
+
+# ----------------------------------------------------------------------
+# Static failure detector (classes 1 and 2)
+# ----------------------------------------------------------------------
+def test_static_fd_with_no_crashes_never_suspects(sim):
+    fd = StaticFailureDetector(sim)
+    fd.start()
+    assert fd.suspected_processes() == set()
+    assert not fd.is_suspected(0)
+
+
+def test_static_fd_suspects_exactly_the_crash_set(sim):
+    fd = StaticFailureDetector(sim, crashed={0, 2})
+    fd.start()
+    assert fd.suspected_processes() == {0, 2}
+    assert fd.is_suspected(0) and not fd.is_suspected(1)
+
+
+def test_listeners_are_notified_once_per_change(sim):
+    fd = StaticFailureDetector(sim, crashed={1})
+    events = []
+    fd.add_listener(lambda pid, suspected: events.append((pid, suspected)))
+    fd.start()
+    assert events == [(1, True)]
+    fd.remove_listener(events.append)  # removing an unknown listener is a no-op
+
+
+# ----------------------------------------------------------------------
+# Heartbeat failure detector (class 3)
+# ----------------------------------------------------------------------
+def test_heartbeat_fd_validates_parameters(sim):
+    with pytest.raises(ValueError):
+        HeartbeatFailureDetector(sim, timeout_ms=0.0)
+    with pytest.raises(ValueError):
+        HeartbeatFailureDetector(sim, timeout_ms=5.0, heartbeat_period_ms=0.0)
+
+
+def test_heartbeat_period_defaults_to_0_7_t(sim):
+    fd = HeartbeatFailureDetector(sim, timeout_ms=10.0)
+    assert fd.heartbeat_period_ms == pytest.approx(7.0)
+
+
+def test_heartbeats_keep_correct_processes_trusted(quiet_scheduler_config):
+    cluster = _heartbeat_cluster(quiet_scheduler_config, timeout_ms=50.0)
+    cluster.start_all()
+    cluster.run(until=300.0)
+    for process in cluster.processes:
+        fd = process.layer(HeartbeatFailureDetector)
+        assert fd.suspected_processes() == set()
+        assert fd.heartbeats_sent > 3
+        assert fd.heartbeats_received > 3
+
+
+def test_heartbeat_messages_are_consumed_not_delivered_to_the_application(
+    quiet_scheduler_config,
+):
+    cluster = _heartbeat_cluster(quiet_scheduler_config, timeout_ms=50.0)
+    cluster.start_all()
+    cluster.run(until=200.0)
+    for process in cluster.processes:
+        assert all(
+            message.msg_type != HEARTBEAT
+            for message in process.layer(_App).delivered
+        )
+
+
+def test_silent_process_is_eventually_suspected_and_unsuspected_on_contact(
+    quiet_scheduler_config,
+):
+    history = FailureDetectorHistory()
+    cluster = _heartbeat_cluster(quiet_scheduler_config, timeout_ms=20.0, history=history)
+    cluster.start_all()
+    # Crash process 2 after its heartbeats have started flowing.
+    cluster.sim.schedule(50.0, cluster.crash_process, 2)
+    cluster.run(until=200.0)
+    fd0 = cluster.process(0).layer(HeartbeatFailureDetector)
+    assert fd0.is_suspected(2)
+    assert not fd0.is_suspected(1)
+    assert any(t.monitored == 2 and t.suspected for t in history.transitions)
+
+
+def test_application_messages_also_reset_the_timeout(quiet_scheduler_config):
+    """A process that sends application traffic is not suspected even if its
+    heartbeats are disabled (the paper: reception of *any* message resets the
+    timer)."""
+    cluster = Cluster(quiet_scheduler_config)
+
+    def stack(sim, pid):
+        period = 1_000_000.0 if pid == 2 else 20.0  # process 2 sends no heartbeats
+        return [
+            _App(sim, f"app{pid}"),
+            HeartbeatFailureDetector(
+                sim, timeout_ms=30.0, heartbeat_period_ms=period, name=f"fd{pid}"
+            ),
+        ]
+
+    cluster.create_processes(stack)
+    cluster.start_all()
+
+    app2 = cluster.process(2).layer(_App)
+
+    def chatter():
+        app2.send_down(Message(sender=2, destination=0, msg_type="app-data"))
+        cluster.sim.schedule(10.0, chatter)
+
+    cluster.sim.schedule(1.0, chatter)
+    cluster.run(until=300.0)
+    fd0 = cluster.process(0).layer(HeartbeatFailureDetector)
+    fd1 = cluster.process(1).layer(HeartbeatFailureDetector)
+    assert not fd0.is_suspected(2)  # kept alive by application messages
+    assert fd1.is_suspected(2)  # process 1 got neither heartbeats nor data
+
+
+def test_wrong_suspicions_recorded_in_history_with_small_timeout():
+    config = ClusterConfig(n_processes=3, seed=5)
+    history = FailureDetectorHistory()
+    cluster = _heartbeat_cluster(config, timeout_ms=1.0, history=history)
+    cluster.start_all()
+    cluster.run(until=300.0)
+    # With T = 1 ms and ~millisecond scheduling granularity, wrong
+    # suspicions are inevitable although no process crashed.
+    assert len(history.transitions) > 0
+    suspects = [t for t in history.transitions if t.suspected]
+    recoveries = [t for t in history.transitions if not t.suspected]
+    assert suspects and recoveries
+
+
+# ----------------------------------------------------------------------
+# QoS-driven (abstract) failure detector
+# ----------------------------------------------------------------------
+def test_qos_driven_fd_validates_parameters(sim):
+    with pytest.raises(ValueError):
+        QoSDrivenFailureDetector(sim, mistake_recurrence_time=1.0, mistake_duration=2.0)
+
+
+def test_qos_driven_fd_suspects_crashed_processes_forever(quiet_scheduler_config):
+    cluster = Cluster(quiet_scheduler_config)
+    cluster.create_processes(
+        lambda sim, pid: [
+            _App(sim, f"app{pid}"),
+            QoSDrivenFailureDetector(
+                sim,
+                mistake_recurrence_time=1e9,
+                mistake_duration=1e3,
+                crashed={1},
+                name=f"qfd{pid}",
+            ),
+        ]
+    )
+    cluster.crash_process(1)
+    cluster.start_all()
+    cluster.run(until=10.0)
+    fd0 = cluster.process(0).layer(QoSDrivenFailureDetector)
+    assert fd0.is_suspected(1)
+    assert not fd0.is_suspected(2)
+
+
+def test_qos_driven_fd_time_in_suspect_state_matches_the_qos_ratio(
+    quiet_scheduler_config,
+):
+    history = FailureDetectorHistory()
+    cluster = Cluster(quiet_scheduler_config)
+    cluster.create_processes(
+        lambda sim, pid: [
+            _App(sim, f"app{pid}"),
+            QoSDrivenFailureDetector(
+                sim,
+                mistake_recurrence_time=10.0,
+                mistake_duration=2.0,
+                kind="exponential",
+                history=history,
+                name=f"qfd{pid}",
+            ),
+        ]
+    )
+    cluster.start_all()
+    horizon = 4000.0
+    cluster.run(until=horizon)
+    # Expected fraction of time suspected: T_M / T_MR = 0.2.
+    fraction = history.time_suspected(0, 1, horizon) / horizon
+    assert fraction == pytest.approx(0.2, abs=0.06)
+
+
+def test_qos_driven_fd_deterministic_kind_produces_regular_cycles(quiet_scheduler_config):
+    history = FailureDetectorHistory()
+    cluster = Cluster(quiet_scheduler_config)
+    cluster.create_processes(
+        lambda sim, pid: [
+            _App(sim, f"a{pid}"),
+            QoSDrivenFailureDetector(
+                sim,
+                mistake_recurrence_time=10.0,
+                mistake_duration=2.0,
+                kind="deterministic",
+                history=history,
+                name=f"qfd{pid}",
+            ),
+        ]
+    )
+    cluster.start_all()
+    cluster.run(until=200.0)
+    intervals = history.suspicion_intervals(0, 1, 200.0)
+    assert intervals
+    durations = [end - start for start, end in intervals if end < 200.0]
+    assert all(d == pytest.approx(2.0, abs=1e-6) for d in durations)

@@ -1,0 +1,191 @@
+"""Cross-module integration tests of the paper's headline *shapes*.
+
+The reproduction does not target the paper's absolute numbers (its cluster
+is simulated, not the authors' testbed); these tests pin down the
+qualitative results the paper reports:
+
+* §5.2 / Fig. 7 -- latency grows with the number of processes, and the
+  calibrated SAN simulation agrees with the measurements.
+* §5.3 / Table 1 -- a coordinator crash increases latency; a participant
+  crash decreases it for n >= 5.
+* §5.4 / Fig. 8 -- the mistake recurrence time grows with the timeout while
+  the mistake duration stays bounded.
+* §5.4 / Fig. 9 -- the latency falls towards the no-suspicion level as the
+  timeout grows.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.cluster.config import ClusterConfig
+from repro.core.measurement import MeasurementConfig, MeasurementRunner
+from repro.core.scenarios import Scenario
+from repro.core.validation import compare_results
+from repro.experiments.figure8 import measure_class3_point
+from repro.experiments.settings import ExperimentSettings
+from repro.sanmodels.consensus_model import ConsensusSANExperiment
+from repro.sanmodels.parameters import SANParameters
+
+EXECUTIONS = 80
+REPLICATIONS = 80
+
+
+def _measured_mean(n, scenario, seed, executions=EXECUTIONS):
+    config = MeasurementConfig(
+        cluster=ClusterConfig(n_processes=n, seed=seed),
+        scenario=scenario,
+        executions=executions,
+    )
+    return MeasurementRunner(config).run().mean_latency_ms
+
+
+@pytest.fixture(scope="module")
+def class1_means():
+    return {
+        n: _measured_mean(n, Scenario.no_failures(), seed=1000 + n)
+        for n in (3, 5, 7)
+    }
+
+
+def test_latency_grows_with_the_number_of_processes(class1_means):
+    assert class1_means[3] < class1_means[5] < class1_means[7]
+
+
+def test_latency_growth_is_roughly_linear(class1_means):
+    step1 = class1_means[5] - class1_means[3]
+    step2 = class1_means[7] - class1_means[5]
+    assert step1 > 0 and step2 > 0
+    assert 0.3 < step2 / step1 < 3.0
+
+
+def test_simulation_latency_also_grows_with_n():
+    means = {
+        n: ConsensusSANExperiment(n_processes=n, seed=50 + n).run(REPLICATIONS).mean_ms
+        for n in (3, 5)
+    }
+    assert means[3] < means[5]
+
+
+def test_measurement_and_simulation_agree_reasonably_for_class1(class1_means):
+    """The combined-methodology validation step (§5.2): after deriving the
+    SAN network parameters from the measured end-to-end delays, simulated and
+    measured class-1 latencies agree within a factor well below 2."""
+    from repro.core.measurement import measure_end_to_end_delays
+
+    delays = measure_end_to_end_delays(ClusterConfig(n_processes=3, seed=77), probes=400)
+    parameters = SANParameters.from_measured_delays(
+        delays.unicast_delays, {3: delays.broadcast_delays}, t_send_ms=0.025
+    )
+    simulated = ConsensusSANExperiment(
+        n_processes=3, parameters=parameters, seed=78
+    ).run(REPLICATIONS)
+    config = MeasurementConfig(
+        cluster=ClusterConfig(n_processes=3, seed=79),
+        scenario=Scenario.no_failures(),
+        executions=EXECUTIONS,
+    )
+    measured = MeasurementRunner(config).run()
+    report = compare_results(measured.latencies_ms, simulated.latencies_ms, label="n=3 class 1")
+    assert report.agrees_within(0.5)
+
+
+def test_table1_coordinator_crash_increases_latency_in_measurements():
+    for n in (3, 5):
+        base = _measured_mean(n, Scenario.no_failures(), seed=2000 + n)
+        crash = _measured_mean(n, Scenario.coordinator_crash(), seed=2000 + n)
+        assert crash > base
+
+
+def test_table1_participant_crash_decreases_latency_for_n5_measurements():
+    base = _measured_mean(5, Scenario.no_failures(), seed=3005, executions=150)
+    crash = _measured_mean(5, Scenario.participant_crash(1), seed=3005, executions=150)
+    assert crash < base
+
+
+def test_table1_crash_ordering_in_the_san_simulation():
+    """At n = 5 the SAN model reproduces the coordinator-crash penalty.
+
+    The participant-crash case is only required to stay well below the
+    coordinator-crash case: unlike the paper's UltraSAN model, our SAN keeps
+    the shared network busy with the next-round traffic addressed to the
+    crashed process, which erodes (and at n = 5 slightly reverses) the
+    participant-crash speed-up -- a documented deviation (see
+    EXPERIMENTS.md).  The speed-up itself is asserted for n = 3 below and
+    for the measurements in the dedicated measurement test.
+    """
+
+    def simulate(crashed):
+        return ConsensusSANExperiment(
+            n_processes=5, crashed=crashed, seed=90
+        ).run(REPLICATIONS).mean_ms
+
+    no_crash = simulate(())
+    coordinator = simulate((0,))
+    participant = simulate((1,))
+    assert coordinator > no_crash
+    assert participant < coordinator
+    assert participant < 1.3 * no_crash
+
+
+def test_table1_n3_participant_crash_simulation_is_faster_than_no_crash():
+    """The paper's n = 3 anomaly: the SAN model (single broadcast message)
+    predicts a *lower* latency for a participant crash, unlike the
+    measurements (§5.3)."""
+    no_crash = ConsensusSANExperiment(n_processes=3, seed=91).run(REPLICATIONS).mean_ms
+    participant = ConsensusSANExperiment(
+        n_processes=3, crashed=(1,), seed=91
+    ).run(REPLICATIONS).mean_ms
+    assert participant < no_crash
+
+
+@pytest.fixture(scope="module")
+def class3_points():
+    settings = ExperimentSettings(
+        class3_executions=40,
+        seed=4242,
+    )
+    return {
+        timeout: measure_class3_point(settings, 3, timeout, point_seed=4000 + int(timeout))
+        for timeout in (1.0, 5.0, 50.0)
+    }
+
+
+def test_figure8_mistake_recurrence_time_grows_with_the_timeout(class3_points):
+    tmr = {t: p.mistake_recurrence_time_ms for t, p in class3_points.items()}
+    assert tmr[1.0] < tmr[5.0] <= tmr[50.0]
+
+
+def test_figure8_mistake_duration_stays_bounded(class3_points):
+    for point in class3_points.values():
+        assert 0.0 <= point.mistake_duration_ms < 15.0
+
+
+def test_figure9_latency_decreases_towards_the_no_suspicion_level(class3_points):
+    latency = {
+        t: sum(p.latencies_ms) / len(p.latencies_ms) for t, p in class3_points.items()
+    }
+    baseline = _measured_mean(3, Scenario.no_failures(), seed=4100, executions=60)
+    assert latency[1.0] > latency[50.0]
+    assert latency[50.0] == pytest.approx(baseline, rel=0.5)
+
+
+def test_figure9_san_with_good_qos_matches_the_no_suspicion_simulation(class3_points):
+    from repro.core.simulation import SimulationConfig, SimulationRunner
+
+    good_point = class3_points[50.0]
+    accurate = ConsensusSANExperiment(n_processes=3, seed=92).run(REPLICATIONS).mean_ms
+    if good_point.qos is None or math.isinf(good_point.qos.mistake_recurrence_time):
+        pytest.skip("no mistakes observed at T=50 ms in this run")
+    simulated = SimulationRunner(
+        SimulationConfig(
+            n_processes=3,
+            scenario=Scenario.wrong_suspicions(timeout_ms=50.0),
+            fd_qos=good_point.qos,
+            replications=REPLICATIONS,
+            seed=93,
+        )
+    ).run()
+    assert simulated.mean_latency_ms == pytest.approx(accurate, rel=0.6)

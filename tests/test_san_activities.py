@@ -1,0 +1,148 @@
+"""Tests of SAN places, gates, cases and activities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.san.activities import Case, InstantaneousActivity, TimedActivity
+from repro.san.gates import InputGate, OutputGate
+from repro.san.marking import Marking
+from repro.san.places import Place
+from repro.stats.distributions import Constant, Exponential
+
+RNG = np.random.default_rng(0)
+
+
+def test_place_validation():
+    with pytest.raises(ValueError):
+        Place("", 0)
+    with pytest.raises(ValueError):
+        Place("p", -1)
+    assert Place("p", 2).renamed("x.").name == "x.p"
+
+
+def test_activity_enabled_by_input_arcs():
+    activity = TimedActivity("t", Constant(1.0), input_arcs=["a", ("b", 2)])
+    assert not activity.enabled(Marking({"a": 1, "b": 1}))
+    assert activity.enabled(Marking({"a": 1, "b": 2}))
+
+
+def test_input_gate_predicate_participates_in_enabling():
+    gate = InputGate("g", predicate=lambda m: m["x"] >= 3, watched_places=("x",))
+    activity = TimedActivity("t", Constant(1.0), input_arcs=["a"], input_gates=[gate])
+    assert not activity.enabled(Marking({"a": 1, "x": 2}))
+    assert activity.enabled(Marking({"a": 1, "x": 3}))
+
+
+def test_completion_applies_arcs_and_gates_in_san_order():
+    trace = []
+    input_gate = InputGate(
+        "ig", predicate=lambda m: True, function=lambda m: trace.append("input-gate")
+    )
+    output_gate = OutputGate("og", function=lambda m: trace.append("output-gate"))
+    activity = TimedActivity(
+        "t",
+        Constant(1.0),
+        input_arcs=[("a", 1)],
+        input_gates=[input_gate],
+        cases=[Case.build(output_arcs=[("b", 2)], output_gates=[output_gate])],
+    )
+    marking = Marking({"a": 1})
+    activity.complete(marking, activity.cases[0])
+    assert marking["a"] == 0
+    assert marking["b"] == 2
+    assert trace == ["input-gate", "output-gate"]
+
+
+def test_case_weights_can_depend_on_the_marking():
+    activity = InstantaneousActivity(
+        "i",
+        input_arcs=["a"],
+        cases=[
+            Case.build(probability=lambda m: m["heads"], output_arcs=["h"]),
+            Case.build(probability=lambda m: m["tails"], output_arcs=["t"]),
+        ],
+    )
+    marking = Marking({"a": 1, "heads": 1, "tails": 0})
+    chosen = activity.choose_case(marking, RNG)
+    assert chosen.output_arcs == (("h", 1),)
+
+
+def test_case_selection_follows_probabilities():
+    activity = InstantaneousActivity(
+        "i",
+        input_arcs=["a"],
+        cases=[
+            Case.build(probability=0.75, output_arcs=["x"], label="x"),
+            Case.build(probability=0.25, output_arcs=["y"], label="y"),
+        ],
+    )
+    rng = np.random.default_rng(3)
+    marking = Marking({"a": 1})
+    labels = [activity.choose_case(marking, rng).label for _ in range(2000)]
+    fraction_x = labels.count("x") / len(labels)
+    assert fraction_x == pytest.approx(0.75, abs=0.04)
+
+
+def test_zero_total_case_probability_raises():
+    activity = InstantaneousActivity(
+        "i",
+        cases=[Case.build(probability=0.0), Case.build(probability=0.0)],
+    )
+    with pytest.raises(ValueError):
+        activity.choose_case(Marking(), RNG)
+
+
+def test_single_case_skips_probability_evaluation():
+    activity = InstantaneousActivity("i", cases=[Case.build(probability=0.0)])
+    assert activity.choose_case(Marking(), RNG) is activity.cases[0]
+
+
+def test_timed_activity_samples_from_marking_dependent_distribution():
+    activity = TimedActivity(
+        "t",
+        distribution=lambda marking: Constant(float(marking["speed"])),
+        input_arcs=["a"],
+    )
+    assert activity.sample_duration(Marking({"speed": 4}), RNG) == 4.0
+
+
+def test_timed_activity_rejects_negative_weights_and_names():
+    with pytest.raises(ValueError):
+        TimedActivity("t", Constant(1.0), input_arcs=[("a", 0)])
+    with pytest.raises(ValueError):
+        TimedActivity("", Constant(1.0))
+
+
+def test_exponential_timed_activity_samples_nonnegative_durations():
+    activity = TimedActivity("t", Exponential(2.0))
+    assert all(activity.sample_duration(Marking(), RNG) >= 0 for _ in range(100))
+
+
+def test_instantaneous_activity_reports_not_timed():
+    assert not InstantaneousActivity("i").timed
+    assert TimedActivity("t", Constant(1.0)).timed
+
+
+def test_default_case_added_when_none_given():
+    activity = InstantaneousActivity("i", input_arcs=["a"])
+    assert len(activity.cases) == 1
+    marking = Marking({"a": 1})
+    activity.complete(marking, activity.cases[0])
+    assert marking["a"] == 0
+
+
+def test_input_gate_renaming_translates_watched_places_and_marking_access():
+    gate = InputGate(
+        "g",
+        predicate=lambda m: m["count"] >= 1,
+        function=lambda m: m.add("count"),
+        watched_places=("count",),
+    )
+    renamed = gate.renamed("p1.", lambda name: f"p1.{name}")
+    assert renamed.watched_places == ("p1.count",)
+    marking = Marking({"p1.count": 1})
+    assert renamed.enabled(marking)
+    renamed.apply(marking)
+    assert marking["p1.count"] == 2

@@ -1,0 +1,119 @@
+"""Tests of SAN markings (token bookkeeping and the change journal)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.san.marking import Marking
+from repro.san.places import Place
+
+
+def test_unknown_places_have_zero_tokens():
+    marking = Marking()
+    assert marking["anything"] == 0
+
+
+def test_set_get_add_remove():
+    marking = Marking()
+    marking["a"] = 2
+    marking.add("a")
+    marking.remove("a", 2)
+    assert marking["a"] == 1
+
+
+def test_place_objects_and_names_are_interchangeable():
+    marking = Marking()
+    place = Place("p", 0)
+    marking[place] = 3
+    assert marking["p"] == 3
+    assert marking.has(place, 3)
+
+
+def test_negative_markings_are_rejected():
+    marking = Marking({"a": 1})
+    with pytest.raises(ValueError):
+        marking.remove("a", 2)
+
+
+def test_initialisation_from_mapping():
+    marking = Marking({"a": 1, "b": 0})
+    assert marking["a"] == 1
+    assert marking["b"] == 0
+
+
+def test_copy_is_independent():
+    original = Marking({"a": 1})
+    clone = original.copy()
+    clone["a"] = 5
+    assert original["a"] == 1
+
+
+def test_equality_ignores_zero_entries():
+    assert Marking({"a": 1, "b": 0}) == Marking({"a": 1})
+    assert Marking({"a": 1}) == {"a": 1, "c": 0}
+    assert Marking({"a": 1}) != Marking({"a": 2})
+
+
+def test_markings_are_unhashable():
+    with pytest.raises(TypeError):
+        hash(Marking())
+
+
+def test_total_tokens_and_set_all():
+    marking = Marking()
+    marking.set_all(["a", "b", "c"], 2)
+    assert marking.total_tokens() == 6
+
+
+def test_as_dict_drop_zeros():
+    marking = Marking({"a": 1, "b": 0})
+    assert marking.as_dict(drop_zeros=True) == {"a": 1}
+    assert marking.as_dict() == {"a": 1, "b": 0}
+
+
+def test_change_journal_records_real_changes_only():
+    marking = Marking({"a": 1})
+    marking.consume_changes()
+    marking["a"] = 1  # no change
+    marking["b"] = 2
+    marking.add("a")
+    changed = marking.consume_changes()
+    assert changed == {"a", "b"}
+    assert marking.consume_changes() == set()
+
+
+def test_change_journal_cleared_by_consume():
+    marking = Marking()
+    marking["x"] = 1
+    assert marking.consume_changes() == {"x"}
+    marking["x"] = 1
+    assert marking.consume_changes() == set()
+
+
+@given(
+    st.dictionaries(
+        st.text(min_size=1, max_size=5), st.integers(min_value=0, max_value=20), max_size=8
+    )
+)
+def test_copy_round_trips_arbitrary_markings(tokens):
+    marking = Marking(tokens)
+    assert marking.copy() == marking
+    assert marking.total_tokens() == sum(tokens.values())
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["a", "b", "c"]), st.integers(min_value=1, max_value=3)),
+        max_size=20,
+    )
+)
+def test_add_never_produces_negative_tokens_and_journal_tracks_touched_places(ops):
+    marking = Marking()
+    marking.consume_changes()
+    touched = set()
+    for place, count in ops:
+        marking.add(place, count)
+        touched.add(place)
+    assert all(marking[p] >= 0 for p in ("a", "b", "c"))
+    assert marking.consume_changes() == touched

@@ -1,0 +1,152 @@
+"""Tests of SAN model containers and the Join / Rep composition operators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.san.activities import Case, InstantaneousActivity, TimedActivity
+from repro.san.composition import join, rename_model, replicate, shared_place_names
+from repro.san.gates import InputGate
+from repro.san.model import SANModel, SANValidationError
+from repro.san.places import Place
+from repro.stats.distributions import Constant
+
+
+def _simple_model(name="m") -> SANModel:
+    model = SANModel(name)
+    model.add_place(Place("queue", 1))
+    model.add_place(Place("server", 1))
+    model.add_place(Place("done", 0))
+    model.add_activity(
+        TimedActivity(
+            "serve",
+            Constant(1.0),
+            input_arcs=["queue", "server"],
+            cases=[Case.build(output_arcs=["done", "server"])],
+        )
+    )
+    return model
+
+
+def test_model_summary_and_lookups():
+    model = _simple_model()
+    assert "1 timed" in model.summary()
+    assert model.get_place("queue").initial == 1
+    assert model.get_activity("serve").name == "serve"
+    assert model.has_place("done")
+    assert not model.has_place("missing")
+
+
+def test_duplicate_place_with_same_initial_is_allowed():
+    model = _simple_model()
+    model.add_place(Place("queue", 1))
+    assert len(model.places) == 3
+
+
+def test_duplicate_place_with_conflicting_initial_rejected():
+    model = _simple_model()
+    with pytest.raises(SANValidationError):
+        model.add_place(Place("queue", 5))
+
+
+def test_duplicate_activity_name_rejected():
+    model = _simple_model()
+    with pytest.raises(SANValidationError):
+        model.add_activity(InstantaneousActivity("serve"))
+
+
+def test_validate_detects_undeclared_places():
+    model = SANModel("bad")
+    model.add_place(Place("a", 1))
+    model.add_activity(TimedActivity("t", Constant(1.0), input_arcs=["missing"]))
+    with pytest.raises(SANValidationError):
+        model.validate()
+
+
+def test_validate_detects_undeclared_output_places():
+    model = SANModel("bad")
+    model.add_place(Place("a", 1))
+    model.add_activity(
+        TimedActivity("t", Constant(1.0), input_arcs=["a"], cases=[Case.build(output_arcs=["missing"])])
+    )
+    with pytest.raises(SANValidationError):
+        model.validate()
+
+
+def test_initial_marking_reflects_place_declarations():
+    marking = _simple_model().initial_marking()
+    assert marking["queue"] == 1
+    assert marking["done"] == 0
+
+
+def test_join_merges_places_and_keeps_activities():
+    a = _simple_model("a")
+    b = SANModel("b")
+    b.add_place(Place("server", 1))  # shared with a
+    b.add_place(Place("log", 0))
+    b.add_activity(InstantaneousActivity("note", input_arcs=["log"]))
+    joined = join("ab", [a, b])
+    assert {p.name for p in joined.places} == {"queue", "server", "done", "log"}
+    assert {act.name for act in joined.activities} == {"serve", "note"}
+
+
+def test_join_rejects_conflicting_shared_initial_markings():
+    a = _simple_model("a")
+    b = SANModel("b")
+    b.add_place(Place("server", 3))
+    with pytest.raises(SANValidationError):
+        join("ab", [a, b])
+
+
+def test_join_requires_at_least_one_model():
+    with pytest.raises(SANValidationError):
+        join("empty", [])
+
+
+def test_rename_model_prefixes_places_and_activities_but_not_shared_places():
+    renamed = rename_model(_simple_model(), "r0.", shared={"server"})
+    names = {p.name for p in renamed.places}
+    assert names == {"r0.queue", "server", "r0.done"}
+    assert renamed.activities[0].name == "r0.serve"
+    arcs = dict(renamed.activities[0].input_arcs)
+    assert arcs == {"r0.queue": 1, "server": 1}
+
+
+def test_renamed_gates_still_reference_the_right_places():
+    model = SANModel("g")
+    model.add_place(Place("flag", 1))
+    model.add_place(Place("token", 1))
+    model.add_activity(
+        InstantaneousActivity(
+            "fire",
+            input_arcs=["token"],
+            input_gates=[
+                InputGate("g", predicate=lambda m: m["flag"] >= 1, watched_places=("flag",))
+            ],
+        )
+    )
+    renamed = rename_model(model, "x.")
+    activity = renamed.get_activity("x.fire")
+    assert activity.enabled(renamed.initial_marking())
+
+
+def test_replicate_shares_the_declared_common_places():
+    replicated = replicate(_simple_model(), 3, shared={"server"})
+    place_names = {p.name for p in replicated.places}
+    assert "server" in place_names
+    assert "r0.queue" in place_names and "r2.queue" in place_names
+    assert len([n for n in place_names if n.endswith("queue")]) == 3
+    assert len(replicated.activities) == 3
+
+
+def test_replicate_validates_count():
+    with pytest.raises(SANValidationError):
+        replicate(_simple_model(), 0)
+
+
+def test_shared_place_names_reports_overlaps():
+    a = _simple_model("a")
+    b = SANModel("b")
+    b.add_place(Place("server", 1))
+    b.add_place(Place("other", 0))
+    assert shared_place_names([a, b]) == {"server"}

@@ -1,0 +1,152 @@
+"""Tests of reward variables and the simulative solver."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.san.activities import Case, TimedActivity
+from repro.san.model import SANModel
+from repro.san.places import Place
+from repro.san.rewards import (
+    ActivityCounter,
+    FirstPassageTime,
+    InstantOfTime,
+    IntervalOfTime,
+)
+from repro.san.solver import SimulativeSolver
+from repro.stats.distributions import Constant, Exponential, Uniform
+
+
+def _birth_death_model() -> SANModel:
+    model = SANModel("bd")
+    model.add_place(Place("up", 1))
+    model.add_place(Place("down", 0))
+    model.add_activity(
+        TimedActivity("fail", Constant(2.0), input_arcs=["up"], cases=[Case.build(output_arcs=["down"])])
+    )
+    model.add_activity(
+        TimedActivity("repair", Constant(1.0), input_arcs=["down"], cases=[Case.build(output_arcs=["up"])])
+    )
+    return model
+
+
+def _run(model, rewards, until=None, stop=None, seed=0):
+    from repro.des.simulator import Simulator
+    from repro.san.executor import SANExecutor
+
+    executor = SANExecutor(model, Simulator(seed=seed), rewards=rewards)
+    return executor.run(until=until, stop_predicate=stop)
+
+
+def test_first_passage_time_records_the_first_hit_only():
+    reward = FirstPassageTime(lambda m: m["down"] >= 1)
+    _run(_birth_death_model(), [reward], until=10.0)
+    assert reward.value() == pytest.approx(2.0)
+    assert reward.reached
+
+
+def test_first_passage_time_is_nan_when_never_reached():
+    reward = FirstPassageTime(lambda m: m["down"] >= 5)
+    _run(_birth_death_model(), [reward], until=10.0)
+    assert math.isnan(reward.value())
+    assert not reward.reached
+
+
+def test_interval_of_time_accumulates_rate_weighted_time():
+    # The system alternates: up for 2, down for 1 -> over [0, 9], down time = 3.
+    reward = IntervalOfTime(lambda m: float(m["down"]), name="downtime")
+    _run(_birth_death_model(), [reward], until=9.0)
+    assert reward.value() == pytest.approx(3.0)
+
+
+def test_interval_of_time_normalised_gives_a_time_fraction():
+    reward = IntervalOfTime(lambda m: float(m["down"]), normalize=True)
+    _run(_birth_death_model(), [reward], until=9.0)
+    assert reward.value() == pytest.approx(3.0 / 9.0, rel=0.2)
+
+
+def test_instant_of_time_samples_the_marking_in_force_at_the_instant():
+    reward = InstantOfTime(2.5, lambda m: float(m["down"]))
+    _run(_birth_death_model(), [reward], until=10.0)
+    assert reward.value() == pytest.approx(1.0)  # down during [2, 3)
+
+
+def test_activity_counter_counts_selected_activities():
+    total = ActivityCounter(name="all")
+    fails = ActivityCounter({"fail"}, name="fails")
+    _run(_birth_death_model(), [total, fails], until=9.0)
+    assert total.value() == 6  # 3 failures + 3 repairs in 9 time units
+    assert fails.value() == 3
+
+
+def _stochastic_factory() -> SANModel:
+    model = SANModel("latency")
+    model.add_place(Place("start", 1))
+    model.add_place(Place("end", 0))
+    model.add_activity(
+        TimedActivity(
+            "work", Uniform(1.0, 3.0), input_arcs=["start"], cases=[Case.build(output_arcs=["end"])]
+        )
+    )
+    return model
+
+
+def test_solver_runs_independent_replications_and_reports_statistics():
+    solver = SimulativeSolver(
+        model_factory=_stochastic_factory,
+        reward_factory=lambda: [FirstPassageTime(lambda m: m["end"] >= 1, name="latency")],
+        stop_predicate=lambda m: m["end"] >= 1,
+        seed=7,
+    )
+    result = solver.solve(replications=50)
+    assert result.n == 50
+    assert 1.0 <= result.mean("latency") <= 3.0
+    interval = result.interval("latency")
+    assert interval.lower <= result.mean("latency") <= interval.upper
+    assert result.cdf("latency").n == 50
+    # Uniform(1, 3) mean is 2.
+    assert result.mean("latency") == pytest.approx(2.0, abs=0.25)
+
+
+def test_solver_replications_differ_but_are_reproducible():
+    def factory():
+        model = SANModel("exp")
+        model.add_place(Place("s", 1))
+        model.add_place(Place("e", 0))
+        model.add_activity(
+            TimedActivity("w", Exponential(1.0), input_arcs=["s"], cases=[Case.build(output_arcs=["e"])])
+        )
+        return model
+
+    def solver():
+        return SimulativeSolver(
+            model_factory=factory,
+            reward_factory=lambda: [FirstPassageTime(lambda m: m["e"] >= 1, name="latency")],
+            stop_predicate=lambda m: m["e"] >= 1,
+            seed=3,
+        )
+
+    first = solver().solve(replications=10).values("latency")
+    second = solver().solve(replications=10).values("latency")
+    assert first == second
+    assert len(set(first)) > 1  # replications are not identical to each other
+
+
+def test_solver_precision_target_stops_before_the_maximum():
+    solver = SimulativeSolver(
+        model_factory=_stochastic_factory,
+        reward_factory=lambda: [FirstPassageTime(lambda m: m["end"] >= 1, name="latency")],
+        stop_predicate=lambda m: m["end"] >= 1,
+        seed=11,
+    )
+    result = solver.solve(
+        target_reward="latency",
+        relative_precision=0.2,
+        min_replications=10,
+        max_replications=500,
+    )
+    assert 10 <= result.n < 500
+    interval = result.interval("latency")
+    assert interval.half_width / interval.mean <= 0.2

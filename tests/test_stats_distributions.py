@@ -1,0 +1,167 @@
+"""Tests of the parametric duration distributions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.stats.distributions import (
+    BimodalUniform,
+    Constant,
+    Exponential,
+    LogNormal,
+    Mixture,
+    Normal,
+    Shifted,
+    Uniform,
+    Weibull,
+    distribution_from_spec,
+)
+
+RNG = np.random.default_rng(1234)
+
+
+def _sample_mean(dist, n=20_000):
+    rng = np.random.default_rng(99)
+    return float(np.mean([dist.sample(rng) for _ in range(n)]))
+
+
+def test_constant_always_returns_its_value():
+    dist = Constant(0.025)
+    assert dist.sample(RNG) == 0.025
+    assert dist.mean() == 0.025
+    assert dist.variance() == 0.0
+
+
+def test_constant_rejects_negative_values():
+    with pytest.raises(ValueError):
+        Constant(-1.0)
+
+
+def test_uniform_bounds_and_moments():
+    dist = Uniform(0.1, 0.3)
+    samples = [dist.sample(RNG) for _ in range(2000)]
+    assert all(0.1 <= x <= 0.3 for x in samples)
+    assert dist.mean() == pytest.approx(0.2)
+    assert dist.variance() == pytest.approx(0.04 / 12)
+    assert _sample_mean(dist) == pytest.approx(0.2, rel=0.02)
+
+
+def test_uniform_rejects_inverted_bounds():
+    with pytest.raises(ValueError):
+        Uniform(1.0, 0.5)
+
+
+def test_exponential_mean_and_rate():
+    dist = Exponential(2.5)
+    assert dist.mean() == 2.5
+    assert dist.rate == pytest.approx(0.4)
+    assert dist.variance() == pytest.approx(6.25)
+    assert _sample_mean(dist) == pytest.approx(2.5, rel=0.05)
+
+
+def test_exponential_rejects_nonpositive_mean():
+    with pytest.raises(ValueError):
+        Exponential(0.0)
+
+
+def test_weibull_moments():
+    dist = Weibull(shape=2.0, scale=1.0)
+    assert dist.mean() == pytest.approx(0.8862, rel=1e-3)
+    assert _sample_mean(dist) == pytest.approx(dist.mean(), rel=0.05)
+
+
+def test_normal_truncation_at_zero():
+    dist = Normal(mu=0.01, sigma=0.05)
+    samples = [dist.sample(RNG) for _ in range(2000)]
+    assert all(x >= 0.0 for x in samples)
+
+
+def test_lognormal_mean():
+    dist = LogNormal(mu=0.0, sigma=0.5)
+    assert _sample_mean(dist) == pytest.approx(dist.mean(), rel=0.05)
+
+
+def test_mixture_mean_is_weighted_average():
+    mixture = Mixture([(0.8, Constant(1.0)), (0.2, Constant(6.0))])
+    assert mixture.mean() == pytest.approx(2.0)
+    assert _sample_mean(mixture) == pytest.approx(2.0, rel=0.05)
+
+
+def test_mixture_normalises_weights():
+    mixture = Mixture([(2.0, Constant(1.0)), (2.0, Constant(3.0))])
+    assert list(mixture.weights) == pytest.approx([0.5, 0.5])
+    assert mixture.mean() == pytest.approx(2.0)
+
+
+def test_mixture_variance_uses_law_of_total_variance():
+    mixture = Mixture([(0.5, Constant(0.0)), (0.5, Constant(2.0))])
+    assert mixture.variance() == pytest.approx(1.0)
+
+
+def test_mixture_rejects_empty_and_nonpositive_weights():
+    with pytest.raises(ValueError):
+        Mixture([])
+    with pytest.raises(ValueError):
+        Mixture([(0.0, Constant(1.0))])
+
+
+def test_bimodal_uniform_defaults_match_the_paper():
+    dist = BimodalUniform()
+    # 0.8 * mean(U[0.1,0.13]) + 0.2 * mean(U[0.145,0.35])
+    assert dist.mean() == pytest.approx(0.8 * 0.115 + 0.2 * 0.2475)
+    samples = [dist.sample(RNG) for _ in range(3000)]
+    assert all(0.1 <= x <= 0.35 for x in samples)
+    in_body = sum(1 for x in samples if x <= 0.13) / len(samples)
+    assert in_body == pytest.approx(0.8, abs=0.05)
+
+
+def test_bimodal_uniform_rejects_bad_probability():
+    with pytest.raises(ValueError):
+        BimodalUniform(p1=1.5)
+
+
+def test_shifted_distribution_adds_offset():
+    dist = Shifted(0.5, Constant(1.0))
+    assert dist.sample(RNG) == 1.5
+    assert dist.mean() == 1.5
+    assert dist.variance() == 0.0
+
+
+def test_distribution_from_spec_round_trips_each_kind():
+    specs = [
+        ({"kind": "constant", "value": 0.1}, Constant),
+        ({"kind": "uniform", "low": 0.0, "high": 1.0}, Uniform),
+        ({"kind": "exponential", "mean": 2.0}, Exponential),
+        ({"kind": "weibull", "shape": 1.5, "scale": 2.0}, Weibull),
+        ({"kind": "normal", "mu": 1.0, "sigma": 0.1}, Normal),
+        ({"kind": "lognormal", "mu": 0.0, "sigma": 0.2}, LogNormal),
+        ({"kind": "bimodal_uniform"}, BimodalUniform),
+    ]
+    for spec, expected_type in specs:
+        assert isinstance(distribution_from_spec(spec), expected_type)
+
+
+def test_distribution_from_spec_rejects_unknown_kind():
+    with pytest.raises(ValueError):
+        distribution_from_spec({"kind": "zipf"})
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    low=st.floats(min_value=0.0, max_value=10.0),
+    width=st.floats(min_value=0.001, max_value=10.0),
+)
+def test_uniform_samples_respect_bounds(low, width):
+    dist = Uniform(low, low + width)
+    rng = np.random.default_rng(0)
+    assert all(low <= dist.sample(rng) <= low + width for _ in range(50))
+
+
+@settings(max_examples=30, deadline=None)
+@given(mean=st.floats(min_value=0.001, max_value=100.0))
+def test_exponential_samples_are_nonnegative(mean):
+    dist = Exponential(mean)
+    rng = np.random.default_rng(0)
+    assert all(dist.sample(rng) >= 0.0 for _ in range(50))

@@ -1,0 +1,53 @@
+"""Tests of the bi-modal uniform fitting used for end-to-end delays (§5.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stats.distributions import BimodalUniform
+from repro.stats.fitting import fit_bimodal_uniform
+
+
+def _samples_from(dist: BimodalUniform, n: int = 5000) -> list[float]:
+    rng = np.random.default_rng(5)
+    return [dist.sample(rng) for _ in range(n)]
+
+
+def test_fit_recovers_the_papers_distribution_approximately():
+    truth = BimodalUniform()  # the paper's unicast fit
+    fitted = fit_bimodal_uniform(_samples_from(truth))
+    assert fitted.low1 == pytest.approx(0.1, abs=0.02)
+    assert fitted.high2 == pytest.approx(0.35, abs=0.03)
+    assert fitted.p1 == pytest.approx(0.8)
+    assert fitted.mean() == pytest.approx(truth.mean(), rel=0.1)
+
+
+def test_fit_respects_the_requested_body_probability():
+    truth = BimodalUniform()
+    fitted = fit_bimodal_uniform(_samples_from(truth), body_probability=0.6)
+    assert fitted.p1 == pytest.approx(0.6)
+
+
+def test_fitted_modes_do_not_overlap():
+    rng = np.random.default_rng(11)
+    samples = list(rng.uniform(0.1, 0.4, size=2000))
+    fitted = fit_bimodal_uniform(samples)
+    assert fitted.low1 <= fitted.high1 <= fitted.low2 <= fitted.high2
+
+
+def test_fit_requires_enough_samples():
+    with pytest.raises(ValueError):
+        fit_bimodal_uniform([0.1] * 5)
+
+
+def test_fit_rejects_invalid_body_probability():
+    with pytest.raises(ValueError):
+        fit_bimodal_uniform([0.1] * 20, body_probability=1.2)
+
+
+def test_fit_handles_nearly_constant_data():
+    samples = [0.2 + 1e-6 * i for i in range(100)]
+    fitted = fit_bimodal_uniform(samples)
+    assert fitted.low1 == pytest.approx(0.2, abs=1e-3)
+    assert fitted.high2 == pytest.approx(0.2, abs=1e-3)
