@@ -1,0 +1,111 @@
+"""Benchmark: serial vs. parallel execution of a Figure 8 sweep.
+
+Runs the same multi-point class-3 QoS sweep through the replication engine
+once with ``jobs=1`` (the serial fallback) and once with ``jobs=4`` (the
+process pool), reports the wall-clock throughput of both, and verifies that
+the results are bit-for-bit identical.  On a machine with at least four
+CPUs the parallel run must be more than 1.5x faster; on smaller machines
+the speedup assertion is skipped (a process pool cannot beat serial
+execution without spare cores) but the determinism check still runs.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.experiments.figure8 import figure8_plan
+from repro.experiments.runner import execute_plan
+from repro.experiments.settings import ExperimentSettings
+
+#: Worker count of the parallel leg (the acceptance target of the engine).
+PARALLEL_JOBS = 4
+#: Required wall-clock speedup at PARALLEL_JOBS workers on >= 4 CPUs.
+REQUIRED_SPEEDUP = 1.5
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def _sweep_settings() -> ExperimentSettings:
+    """A Figure 8 sweep with enough independent points to parallelise."""
+    return ExperimentSettings(
+        class3_executions=40,
+        class3_process_counts=(3, 5),
+        timeouts_ms=(1.0, 2.0, 5.0, 10.0),
+        seed=11,
+    )
+
+
+def _flatten(points):
+    return [
+        (p.n_processes, p.timeout_ms, p.mistake_recurrence_time_ms, p.latencies_ms)
+        for p in points
+    ]
+
+
+def _timed(function):
+    """Best-of-two wall-clock time (damps noise from shared CI runners)."""
+    best = float("inf")
+    result = None
+    for _attempt in range(2):
+        started = time.perf_counter()
+        result = function()
+        best = min(best, time.perf_counter() - started)
+    return result, best
+
+
+def test_bench_runner_parallel_speedup():
+    settings = _sweep_settings()
+    plan = figure8_plan(settings)
+
+    serial, serial_s = _timed(lambda: execute_plan(plan, jobs=1))
+    parallel, parallel_s = _timed(lambda: execute_plan(plan, jobs=PARALLEL_JOBS))
+
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    print(
+        f"\nfigure8 sweep, {len(plan)} points: "
+        f"serial {serial_s:.2f} s ({len(plan) / serial_s:.2f} points/s), "
+        f"jobs={PARALLEL_JOBS} {parallel_s:.2f} s "
+        f"({len(plan) / parallel_s:.2f} points/s), speedup {speedup:.2f}x "
+        f"on {_available_cpus()} CPUs"
+    )
+
+    # Parallelism must never change the results.
+    assert _flatten(serial) == _flatten(parallel)
+
+    if _available_cpus() < PARALLEL_JOBS:
+        pytest.skip(
+            f"only {_available_cpus()} CPUs available; the {REQUIRED_SPEEDUP}x "
+            f"speedup target needs {PARALLEL_JOBS}"
+        )
+    assert speedup > REQUIRED_SPEEDUP, (
+        f"expected > {REQUIRED_SPEEDUP}x speedup at jobs={PARALLEL_JOBS}, "
+        f"measured {speedup:.2f}x"
+    )
+
+
+def test_bench_runner_cache_makes_rerenders_free(tmp_path):
+    settings = _sweep_settings()
+    plan = figure8_plan(settings)
+
+    started = time.perf_counter()
+    first = execute_plan(plan, jobs=1, cache_dir=str(tmp_path))
+    cold_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    second = execute_plan(plan, jobs=1, cache_dir=str(tmp_path))
+    warm_s = time.perf_counter() - started
+
+    print(
+        f"\nfigure8 sweep, {len(plan)} points: cold {cold_s:.2f} s, "
+        f"cached {warm_s:.3f} s ({cold_s / max(warm_s, 1e-9):.0f}x)"
+    )
+    assert _flatten(first) == _flatten(second)
+    assert warm_s < cold_s / 2, "a fully cached re-render should be much faster"

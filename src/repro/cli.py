@@ -2,7 +2,7 @@
 
 Usage::
 
-    python -m repro.cli figure6 [--scale smoke|quick|full]
+    python -m repro.cli figure6 [--scale smoke|quick|full] [--jobs N]
     python -m repro.cli figure7a
     python -m repro.cli figure7b
     python -m repro.cli means
@@ -11,6 +11,12 @@ Usage::
     python -m repro.cli figure9
     python -m repro.cli all
 
+``--jobs N`` fans the independent points of each sweep out over N worker
+processes through :mod:`repro.experiments.runner` (``--jobs 0`` uses one
+worker per CPU); the output is bit-for-bit identical to a serial run.
+``--cache-dir DIR`` memoises per-point results on disk so that re-rendering
+a figure (or resuming after an interrupt) only recomputes missing points.
+
 The textual output mirrors the corresponding table or figure of the paper;
 the same generators back the benchmark suite in ``benchmarks/``.
 """
@@ -18,9 +24,10 @@ the same generators back the benchmark suite in ``benchmarks/``.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 from repro.experiments.figure6 import format_figure6, run_figure6
 from repro.experiments.figure7 import (
@@ -34,9 +41,14 @@ from repro.experiments.figure9 import format_figure9, run_figure9
 from repro.experiments.settings import ExperimentSettings
 from repro.experiments.table1 import format_table1, run_table1
 
+#: A report generator: (settings, jobs, cache_dir) -> rendered text.
+Report = Callable[[ExperimentSettings, Optional[int], Optional[str]], str]
 
-def _report_figure7a(settings: ExperimentSettings) -> str:
-    result = run_figure7a(settings)
+
+def _report_figure7a(
+    settings: ExperimentSettings, jobs: Optional[int], cache_dir: Optional[str]
+) -> str:
+    result = run_figure7a(settings, jobs=jobs, cache_dir=cache_dir)
     lines = ["Figure 7(a): latency, no failures, no suspicions",
              "n    mean [ms]   median [ms]   p90 [ms]"]
     for n in sorted(result.latencies_by_n):
@@ -47,8 +59,10 @@ def _report_figure7a(settings: ExperimentSettings) -> str:
     return "\n".join(lines)
 
 
-def _report_figure7b(settings: ExperimentSettings) -> str:
-    result = run_figure7b(settings)
+def _report_figure7b(
+    settings: ExperimentSettings, jobs: Optional[int], cache_dir: Optional[str]
+) -> str:
+    result = run_figure7b(settings, jobs=jobs, cache_dir=cache_dir)
     lines = [
         "Figure 7(b): calibration of t_send "
         f"(measured mean {result.measured_cdf().mean():.3f} ms, n={result.n_processes})",
@@ -63,14 +77,24 @@ def _report_figure7b(settings: ExperimentSettings) -> str:
     return "\n".join(lines)
 
 
-REPORTS: Dict[str, Callable[[ExperimentSettings], str]] = {
-    "figure6": lambda settings: format_figure6(run_figure6(settings)),
+REPORTS: Dict[str, Report] = {
+    "figure6": lambda settings, jobs, cache_dir: format_figure6(
+        run_figure6(settings, jobs=jobs, cache_dir=cache_dir)
+    ),
     "figure7a": _report_figure7a,
     "figure7b": _report_figure7b,
-    "means": lambda settings: format_latency_means(run_latency_means(settings)),
-    "table1": lambda settings: format_table1(run_table1(settings)),
-    "figure8": lambda settings: format_figure8(run_figure8(settings)),
-    "figure9": lambda settings: format_figure9(run_figure9(settings)),
+    "means": lambda settings, jobs, cache_dir: format_latency_means(
+        run_latency_means(settings, jobs=jobs, cache_dir=cache_dir)
+    ),
+    "table1": lambda settings, jobs, cache_dir: format_table1(
+        run_table1(settings, jobs=jobs, cache_dir=cache_dir)
+    ),
+    "figure8": lambda settings, jobs, cache_dir: format_figure8(
+        run_figure8(settings, jobs=jobs, cache_dir=cache_dir)
+    ),
+    "figure9": lambda settings, jobs, cache_dir: format_figure9(
+        run_figure9(settings, jobs=jobs, cache_dir=cache_dir)
+    ),
 }
 
 
@@ -92,7 +116,24 @@ def main(argv: list[str] | None = None) -> int:
         help="experiment scale (default: REPRO_EXPERIMENT_SCALE or 'quick')",
     )
     parser.add_argument("--seed", type=int, default=None, help="override the base seed")
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="worker processes per sweep (1 = serial, 0 = one per CPU)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory for on-disk memoisation of per-point results",
+    )
     args = parser.parse_args(argv)
+
+    if args.jobs < 0:
+        parser.error(f"--jobs must be >= 1 (or 0 for one per CPU), got {args.jobs}")
+    if args.cache_dir is not None and os.path.exists(args.cache_dir) and not os.path.isdir(args.cache_dir):
+        parser.error(f"--cache-dir {args.cache_dir!r} exists and is not a directory")
 
     if args.scale is not None:
         settings = {
@@ -111,7 +152,7 @@ def main(argv: list[str] | None = None) -> int:
     for name in names:
         started = time.time()
         print(f"==== {name} ====")
-        print(REPORTS[name](settings))
+        print(REPORTS[name](settings, args.jobs, args.cache_dir))
         print(f"[{name} regenerated in {time.time() - started:.1f} s]")
         print()
     return 0

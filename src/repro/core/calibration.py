@@ -29,9 +29,11 @@ from repro.stats.distributions import BimodalUniform
 from repro.stats.fitting import fit_bimodal_uniform
 
 __all__ = [
+    "CalibrationCandidate",
     "CalibrationResult",
     "calibrate_t_send",
     "fit_bimodal_uniform",
+    "score_t_send_candidates",
 ]
 
 
@@ -63,6 +65,42 @@ class CalibrationResult:
 def fit_end_to_end_distribution(delays: Sequence[float]) -> BimodalUniform:
     """Fit the bi-modal uniform end-to-end delay distribution (§5.1)."""
     return fit_bimodal_uniform(delays)
+
+
+def score_t_send_candidates(
+    measured_latencies: Sequence[float],
+    simulated_latencies_by_t_send: Sequence[tuple[float, Sequence[float]]],
+) -> CalibrationResult:
+    """Score simulated candidate latencies against the measured CDF.
+
+    The common second half of the calibration: given the measured latencies
+    and, per candidate ``t_send``, the simulated latencies (however they
+    were produced -- serially here, or by the sweep runner in
+    :func:`repro.experiments.figure7.run_figure7b`), compute each
+    candidate's Kolmogorov-Smirnov distance and pick the best.
+    """
+    if not measured_latencies:
+        raise ValueError("measured_latencies must not be empty")
+    measured_cdf = EmpiricalCDF(measured_latencies)
+    candidates = []
+    for t_send, latencies in simulated_latencies_by_t_send:
+        if latencies:
+            distance = measured_cdf.ks_distance(EmpiricalCDF(latencies))
+            mean = sum(latencies) / len(latencies)
+        else:
+            distance = float("inf")
+            mean = float("nan")
+        candidates.append(
+            CalibrationCandidate(
+                t_send_ms=float(t_send), ks_distance=distance, mean_latency_ms=mean
+            )
+        )
+    best = min(candidates, key=lambda candidate: candidate.ks_distance)
+    return CalibrationResult(
+        best_t_send_ms=best.t_send_ms,
+        candidates=tuple(candidates),
+        measured_mean_ms=measured_cdf.mean(),
+    )
 
 
 def calibrate_t_send(
@@ -97,34 +135,15 @@ def calibrate_t_send(
     seed:
         Master seed.
     """
-    if not measured_latencies:
-        raise ValueError("measured_latencies must not be empty")
-    measured_cdf = EmpiricalCDF(measured_latencies)
-    candidates = []
+    simulated = []
     for t_send in candidate_t_send_ms:
         experiment = ConsensusSANExperiment(
             n_processes=n_processes,
             parameters=base_parameters.with_t_send(t_send),
             seed=seed,
         )
-        result = experiment.run(replications=replications)
-        if result.latencies_ms:
-            distance = measured_cdf.ks_distance(EmpiricalCDF(result.latencies_ms))
-            mean = result.mean_ms
-        else:
-            distance = float("inf")
-            mean = float("nan")
-        candidates.append(
-            CalibrationCandidate(
-                t_send_ms=float(t_send), ks_distance=distance, mean_latency_ms=mean
-            )
-        )
-    best = min(candidates, key=lambda candidate: candidate.ks_distance)
-    return CalibrationResult(
-        best_t_send_ms=best.t_send_ms,
-        candidates=tuple(candidates),
-        measured_mean_ms=measured_cdf.mean(),
-    )
+        simulated.append((float(t_send), experiment.run(replications=replications).latencies_ms))
+    return score_t_send_candidates(measured_latencies, simulated)
 
 
 def simulated_latency_cdfs_by_t_send(

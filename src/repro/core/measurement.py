@@ -297,11 +297,15 @@ class MeasurementRunner:
         duration = self.cluster.sim.now
         qos: Optional[QoSEstimate] = None
         if config.scenario.uses_heartbeat_fd:
+            # The paper's class-2 crashes happen before the run starts, so
+            # every crash instant is t=0; passing an explicit mapping keeps
+            # T_D measured from the real crash time if a scenario ever
+            # crashes processes mid-run.
             qos = estimate_qos(
                 self.fd_history,
                 n_processes=config.cluster.n_processes,
                 experiment_duration=duration,
-                crashed=set(config.scenario.crashed),
+                crashed={process: 0.0 for process in config.scenario.crashed},
             )
         heartbeats = sum(
             layer.heartbeats_sent

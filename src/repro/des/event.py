@@ -44,7 +44,7 @@ class Event:
         Positional arguments passed to ``callback``.
     """
 
-    __slots__ = ("time", "priority", "seq", "callback", "args", "state")
+    __slots__ = ("time", "priority", "seq", "callback", "args", "state", "on_cancel")
 
     def __init__(
         self,
@@ -60,6 +60,11 @@ class Event:
         self.callback = callback
         self.args = args
         self.state = EventState.PENDING
+        #: Optional observer invoked exactly once when the event is
+        #: cancelled; the owning simulator uses it to keep its live-event
+        #: counter accurate even for events cancelled directly via
+        #: ``event.cancel()``.
+        self.on_cancel: Callable[["Event"], None] | None = None
 
     @property
     def pending(self) -> bool:
@@ -87,6 +92,8 @@ class Event:
         """
         if self.state is EventState.PENDING:
             self.state = EventState.CANCELLED
+            if self.on_cancel is not None:
+                self.on_cancel(self)
             return True
         return False
 

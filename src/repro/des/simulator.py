@@ -40,6 +40,7 @@ class Simulator:
         self._running = False
         self._stopped = False
         self._events_processed = 0
+        self._live_events = 0
         self.time_unit = time_unit
         self.random = RandomStreams(seed)
         self._trace_hooks: list[Callable[[Event], None]] = []
@@ -59,9 +60,13 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events currently scheduled (including cancelled ones
-        that have not yet been discarded by the event loop)."""
-        return sum(1 for event in self._queue if event.pending)
+        """Number of events currently scheduled and not yet cancelled.
+
+        Maintained as a live counter updated on schedule/cancel/fire, so
+        reading it is O(1) instead of a scan of the queue (hot paths poll
+        it after every stepped run).
+        """
+        return self._live_events
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -89,8 +94,10 @@ class Simulator:
                 f"cannot schedule event in the past: {time} < now {self._now}"
             )
         event = Event(time, priority, self._seq, callback, args)
+        event.on_cancel = self._note_cancelled
         self._seq += 1
         heapq.heappush(self._queue, event)
+        self._live_events += 1
         return event
 
     def call_now(
@@ -132,6 +139,7 @@ class Simulator:
         event = heapq.heappop(self._queue)
         self._now = event.time
         event.state = event.state.__class__.FIRED
+        self._live_events -= 1
         self._events_processed += 1
         for hook in self._trace_hooks:
             hook(event)
@@ -193,17 +201,34 @@ class Simulator:
     def reset(self) -> None:
         """Discard all pending events and rewind the clock to zero.
 
+        Resets every piece of per-run state: the event queue, the clock,
+        the sequence counter used for same-time FIFO tie-breaking (so a
+        reset simulator orders simultaneous events exactly like a fresh
+        one), and the registered trace hooks (so a reused simulator does
+        not keep firing a previous run's observers).
+
         The random streams are *not* reset; create a new simulator for a
         statistically independent replication.
         """
+        for event in self._queue:
+            # Mark the discarded events cancelled directly (bypassing
+            # Event.cancel and its on_cancel hook) so a stale handle
+            # cancelled later cannot corrupt the live-event counter.
+            event.state = event.state.__class__.CANCELLED
         self._queue.clear()
         self._now = 0.0
+        self._seq = 0
         self._stopped = False
         self._events_processed = 0
+        self._live_events = 0
+        self._trace_hooks.clear()
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _note_cancelled(self, _event: Event) -> None:
+        self._live_events -= 1
+
     def _discard_cancelled(self) -> None:
         while self._queue and not self._queue[0].pending:
             heapq.heappop(self._queue)

@@ -22,6 +22,12 @@ Module              Paper element
 Every generator takes an :class:`~repro.experiments.settings.ExperimentSettings`
 controlling its scale, so the same code serves quick benchmark runs and
 full paper-scale reproductions (set ``REPRO_EXPERIMENT_SCALE=full``).
+
+Each generator expresses its grid as a
+:class:`~repro.experiments.runner.ReplicationPlan` and executes it through
+:mod:`repro.experiments.runner`, so every sweep accepts ``jobs=`` (process
+parallelism; results are bit-for-bit independent of the worker count) and
+``cache_dir=`` (on-disk memoisation of per-point results).
 """
 
 from repro.experiments.figure6 import Figure6Result, run_figure6
@@ -35,11 +41,23 @@ from repro.experiments.figure7 import (
 )
 from repro.experiments.figure8 import Figure8Result, run_figure8
 from repro.experiments.figure9 import Figure9Result, run_figure9
+from repro.experiments.runner import (
+    ReplicationPlan,
+    ResultCache,
+    SweepPoint,
+    execute_plan,
+    iter_plan,
+)
 from repro.experiments.settings import ExperimentSettings
 from repro.experiments.table1 import Table1Result, run_table1
 
 __all__ = [
     "ExperimentSettings",
+    "ReplicationPlan",
+    "ResultCache",
+    "SweepPoint",
+    "execute_plan",
+    "iter_plan",
     "Figure6Result",
     "Figure7aResult",
     "Figure7bResult",

@@ -11,9 +11,10 @@ cluster and reports both the CDFs and the fit.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.measurement import measure_end_to_end_delays
+from repro.core.measurement import EndToEndDelayResult, measure_end_to_end_delays
+from repro.experiments.runner import ReplicationPlan, ResultCache, SweepPoint, iter_plan
 from repro.experiments.settings import ExperimentSettings
 from repro.sanmodels.parameters import BimodalFit, SANParameters
 from repro.stats.cdf import EmpiricalCDF
@@ -56,9 +57,36 @@ class Figure6Result:
         return rows
 
 
+def _figure6_point(
+    settings: ExperimentSettings, n_processes: int, point_seed: int
+) -> EndToEndDelayResult:
+    """One Figure 6 point: the delay micro-benchmark on an n-process cluster."""
+    config = settings.cluster_for(n_processes, point_seed)
+    return measure_end_to_end_delays(config, probes=settings.delay_probes)
+
+
+def figure6_plan(
+    settings: ExperimentSettings,
+    broadcast_process_counts: Sequence[int] = (3, 5),
+) -> ReplicationPlan:
+    """The Figure 6 sweep: one point per broadcast cluster size."""
+    points = tuple(
+        SweepPoint.make(
+            _figure6_point,
+            kwargs={"settings": settings, "n_processes": n},
+            indices=(6, index),
+            label=f"figure6 n={n}",
+        )
+        for index, n in enumerate(broadcast_process_counts)
+    )
+    return ReplicationPlan(settings=settings, points=points, name="figure6")
+
+
 def run_figure6(
     settings: ExperimentSettings | None = None,
     broadcast_process_counts: Sequence[int] = (3, 5),
+    jobs: Optional[int] = 1,
+    cache_dir: Optional[str] = None,
 ) -> Figure6Result:
     """Run the Figure 6 micro-benchmark.
 
@@ -69,13 +97,18 @@ def run_figure6(
     broadcast_process_counts:
         Cluster sizes for which the broadcast delay is measured (the paper
         uses 3 and 5).
+    jobs:
+        Worker processes for the sweep (1 = serial, 0/None = one per CPU).
+    cache_dir:
+        Optional on-disk result cache (see :class:`ResultCache`).
     """
     settings = settings or ExperimentSettings.from_environment()
+    plan = figure6_plan(settings, broadcast_process_counts)
+    cache = ResultCache(cache_dir) if cache_dir else None
     broadcast_delays: Dict[int, List[float]] = {}
     unicast_delays: List[float] = []
-    for index, n in enumerate(broadcast_process_counts):
-        config = settings.cluster_for(n, settings.point_seed(6, index))
-        result = measure_end_to_end_delays(config, probes=settings.delay_probes)
+    for point, result in iter_plan(plan, jobs=jobs, cache=cache):
+        n = dict(point.kwargs)["n_processes"]
         broadcast_delays[n] = result.broadcast_delays
         # The unicast delay does not depend on n; pool the probes from all
         # cluster sizes to smooth the CDF (the paper plots a single curve).

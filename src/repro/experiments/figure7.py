@@ -17,11 +17,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.core.calibration import CalibrationResult, calibrate_t_send
+from repro.core.calibration import CalibrationResult, score_t_send_candidates
 from repro.core.measurement import MeasurementConfig, MeasurementRunner
 from repro.core.scenarios import Scenario
 from repro.core.simulation import SimulationConfig, SimulationRunner
 from repro.experiments.figure6 import run_figure6
+from repro.experiments.runner import ReplicationPlan, ResultCache, SweepPoint, iter_plan
 from repro.experiments.settings import ExperimentSettings
 from repro.sanmodels.parameters import SANParameters
 from repro.stats.cdf import EmpiricalCDF
@@ -73,18 +74,45 @@ def measure_latencies(
     return MeasurementRunner(config).run().latencies_ms
 
 
-def run_figure7a(settings: ExperimentSettings | None = None) -> Figure7aResult:
+def _figure7a_point(
+    settings: ExperimentSettings, n_processes: int, point_seed: int
+) -> List[float]:
+    """One Figure 7(a) point: crash-free latencies for one cluster size."""
+    return measure_latencies(
+        settings,
+        n_processes=n_processes,
+        scenario=Scenario.no_failures(),
+        executions=settings.executions,
+        point_seed=point_seed,
+    )
+
+
+def figure7a_plan(settings: ExperimentSettings) -> ReplicationPlan:
+    """The Figure 7(a) sweep: one point per measured cluster size."""
+    points = tuple(
+        SweepPoint.make(
+            _figure7a_point,
+            kwargs={"settings": settings, "n_processes": n},
+            indices=(7, 1, index),
+            label=f"figure7a n={n}",
+        )
+        for index, n in enumerate(settings.measured_process_counts)
+    )
+    return ReplicationPlan(settings=settings, points=points, name="figure7a")
+
+
+def run_figure7a(
+    settings: ExperimentSettings | None = None,
+    jobs: Optional[int] = 1,
+    cache_dir: Optional[str] = None,
+) -> Figure7aResult:
     """Measure the latency CDFs of Figure 7(a)."""
     settings = settings or ExperimentSettings.from_environment()
+    plan = figure7a_plan(settings)
+    cache = ResultCache(cache_dir) if cache_dir else None
     latencies: Dict[int, List[float]] = {}
-    for index, n in enumerate(settings.measured_process_counts):
-        latencies[n] = measure_latencies(
-            settings,
-            n_processes=n,
-            scenario=Scenario.no_failures(),
-            executions=settings.executions,
-            point_seed=settings.point_seed(7, 1, index),
-        )
+    for point, result in iter_plan(plan, jobs=jobs, cache=cache):
+        latencies[dict(point.kwargs)["n_processes"]] = result
     return Figure7aResult(latencies_by_n=latencies)
 
 
@@ -115,17 +143,62 @@ class Figure7bResult:
         return self.calibration.best_t_send_ms
 
 
+def _figure7b_sim_point(
+    settings: ExperimentSettings,
+    n_processes: int,
+    parameters: SANParameters,
+    t_send_ms: float,
+    point_seed: int,
+) -> List[float]:
+    """One Figure 7(b) point: simulated latencies for one ``t_send``."""
+    from repro.sanmodels.consensus_model import ConsensusSANExperiment
+
+    experiment = ConsensusSANExperiment(
+        n_processes=n_processes,
+        parameters=parameters.with_t_send(t_send_ms),
+        seed=point_seed,
+    )
+    return experiment.run(replications=settings.replications).latencies_ms
+
+
+def figure7b_plan(
+    settings: ExperimentSettings,
+    n_processes: int,
+    parameters: SANParameters,
+) -> ReplicationPlan:
+    """The Figure 7(b) sweep: one simulation point per ``t_send`` candidate."""
+    points = tuple(
+        SweepPoint.make(
+            _figure7b_sim_point,
+            kwargs={
+                "settings": settings,
+                "n_processes": n_processes,
+                "parameters": parameters,
+                "t_send_ms": float(t_send),
+            },
+            indices=(7, 4, index),
+            label=f"figure7b t_send={t_send}",
+        )
+        for index, t_send in enumerate(settings.t_send_candidates_ms)
+    )
+    return ReplicationPlan(settings=settings, points=points, name="figure7b")
+
+
 def run_figure7b(
     settings: ExperimentSettings | None = None,
     n_processes: int = 5,
     measured_latencies: Optional[List[float]] = None,
     parameters: Optional[SANParameters] = None,
+    jobs: Optional[int] = 1,
+    cache_dir: Optional[str] = None,
 ) -> Figure7bResult:
     """Reproduce the Figure 7(b) calibration sweep.
 
     ``measured_latencies`` and ``parameters`` may be supplied to reuse data
     from a previous :func:`run_figure7a` / :func:`run_figure6` run; when
-    omitted, both are measured afresh.
+    omitted, both are measured afresh.  The candidate simulations run once
+    through the sweep runner; the calibration (KS distance per candidate)
+    is computed from those simulated latencies directly.
     """
     settings = settings or ExperimentSettings.from_environment()
     if measured_latencies is None:
@@ -137,27 +210,15 @@ def run_figure7b(
             point_seed=settings.point_seed(7, 2, n_processes),
         )
     if parameters is None:
-        parameters = run_figure6(settings).san_parameters()
-    calibration = calibrate_t_send(
-        measured_latencies=measured_latencies,
-        base_parameters=parameters,
-        n_processes=n_processes,
-        candidate_t_send_ms=settings.t_send_candidates_ms,
-        replications=settings.replications,
-        seed=settings.point_seed(7, 3),
-    )
+        parameters = run_figure6(settings, jobs=jobs, cache_dir=cache_dir).san_parameters()
+    plan = figure7b_plan(settings, n_processes, parameters)
+    cache = ResultCache(cache_dir) if cache_dir else None
     simulated: Dict[float, List[float]] = {}
-    from repro.sanmodels.consensus_model import ConsensusSANExperiment
-
-    for index, t_send in enumerate(settings.t_send_candidates_ms):
-        experiment = ConsensusSANExperiment(
-            n_processes=n_processes,
-            parameters=parameters.with_t_send(t_send),
-            seed=settings.point_seed(7, 4, index),
-        )
-        simulated[float(t_send)] = experiment.run(
-            replications=settings.replications
-        ).latencies_ms
+    for point, latencies in iter_plan(plan, jobs=jobs, cache=cache):
+        simulated[dict(point.kwargs)["t_send_ms"]] = latencies
+    calibration = score_t_send_candidates(
+        measured_latencies, list(simulated.items())
+    )
     return Figure7bResult(
         n_processes=n_processes,
         measured_latencies=measured_latencies,
@@ -188,33 +249,64 @@ class LatencyMeansResult:
         return rows
 
 
+def _latency_means_sim_point(
+    settings: ExperimentSettings,
+    n_processes: int,
+    parameters: SANParameters,
+    point_seed: int,
+) -> List[float]:
+    """One §5.2 simulation point: SAN latencies for one cluster size."""
+    simulation = SimulationRunner(
+        SimulationConfig(
+            n_processes=n_processes,
+            scenario=Scenario.no_failures(),
+            parameters=parameters,
+            replications=settings.replications,
+            seed=point_seed,
+        )
+    ).run()
+    return simulation.latencies_ms
+
+
+def latency_means_plan(
+    settings: ExperimentSettings, parameters: SANParameters
+) -> ReplicationPlan:
+    """The §5.2 simulation sweep: one point per simulated cluster size."""
+    points = tuple(
+        SweepPoint.make(
+            _latency_means_sim_point,
+            kwargs={"settings": settings, "n_processes": n, "parameters": parameters},
+            indices=(7, 5, index),
+            label=f"latency-means n={n}",
+        )
+        for index, n in enumerate(settings.simulated_process_counts)
+    )
+    return ReplicationPlan(settings=settings, points=points, name="latency-means")
+
+
 def run_latency_means(
     settings: ExperimentSettings | None = None,
     figure7a: Optional[Figure7aResult] = None,
     parameters: Optional[SANParameters] = None,
     calibrated_t_send_ms: Optional[float] = None,
+    jobs: Optional[int] = 1,
+    cache_dir: Optional[str] = None,
 ) -> LatencyMeansResult:
     """Compute the §5.2 mean-latency comparison (measurement vs. SAN)."""
     settings = settings or ExperimentSettings.from_environment()
-    figure7a = figure7a or run_figure7a(settings)
+    figure7a = figure7a or run_figure7a(settings, jobs=jobs, cache_dir=cache_dir)
     if parameters is None:
-        parameters = run_figure6(settings).san_parameters()
+        parameters = run_figure6(settings, jobs=jobs, cache_dir=cache_dir).san_parameters()
     if calibrated_t_send_ms is not None:
         parameters = parameters.with_t_send(calibrated_t_send_ms)
     result = LatencyMeansResult()
     for n, latencies in figure7a.latencies_by_n.items():
         result.measured[n] = confidence_interval(latencies)
-    for index, n in enumerate(settings.simulated_process_counts):
-        simulation = SimulationRunner(
-            SimulationConfig(
-                n_processes=n,
-                scenario=Scenario.no_failures(),
-                parameters=parameters,
-                replications=settings.replications,
-                seed=settings.point_seed(7, 5, index),
-            )
-        ).run()
-        result.simulated[n] = confidence_interval(simulation.latencies_ms)
+    plan = latency_means_plan(settings, parameters)
+    cache = ResultCache(cache_dir) if cache_dir else None
+    for point, latencies in iter_plan(plan, jobs=jobs, cache=cache):
+        n = dict(point.kwargs)["n_processes"]
+        result.simulated[n] = confidence_interval(latencies)
     return result
 
 

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.measurement import MeasurementConfig, MeasurementRunner
 from repro.core.scenarios import Scenario
+from repro.experiments.runner import ReplicationPlan, ResultCache, SweepPoint, iter_plan
 from repro.experiments.settings import ExperimentSettings, scaled_timeouts
 from repro.failure_detectors.qos import QoSEstimate
 
@@ -102,19 +103,53 @@ def measure_class3_point(
     )
 
 
-def run_figure8(settings: ExperimentSettings | None = None) -> Figure8Result:
-    """Run the Figure 8 QoS sweep."""
-    settings = settings or ExperimentSettings.from_environment()
-    result = Figure8Result()
+def _figure8_point(
+    settings: ExperimentSettings,
+    n_processes: int,
+    timeout_ms: float,
+    point_seed: int,
+) -> Figure8Point:
+    """One Figure 8 point (module-level so the process pool can pickle it)."""
+    return measure_class3_point(
+        settings,
+        n_processes=n_processes,
+        timeout_ms=timeout_ms,
+        point_seed=point_seed,
+    )
+
+
+def figure8_plan(settings: ExperimentSettings) -> ReplicationPlan:
+    """The Figure 8 sweep: one point per (process count, timeout)."""
+    points = []
     for n_index, n in enumerate(settings.class3_process_counts):
         for t_index, timeout in enumerate(scaled_timeouts(settings.timeouts_ms, n)):
-            point = measure_class3_point(
-                settings,
-                n_processes=n,
-                timeout_ms=timeout,
-                point_seed=settings.point_seed(8, n_index, t_index),
+            points.append(
+                SweepPoint.make(
+                    _figure8_point,
+                    kwargs={
+                        "settings": settings,
+                        "n_processes": n,
+                        "timeout_ms": timeout,
+                    },
+                    indices=(8, n_index, t_index),
+                    label=f"figure8 n={n} T={timeout}",
+                )
             )
-            result.points[(n, timeout)] = point
+    return ReplicationPlan(settings=settings, points=tuple(points), name="figure8")
+
+
+def run_figure8(
+    settings: ExperimentSettings | None = None,
+    jobs: Optional[int] = 1,
+    cache_dir: Optional[str] = None,
+) -> Figure8Result:
+    """Run the Figure 8 QoS sweep."""
+    settings = settings or ExperimentSettings.from_environment()
+    plan = figure8_plan(settings)
+    cache = ResultCache(cache_dir) if cache_dir else None
+    result = Figure8Result()
+    for _point, point in iter_plan(plan, jobs=jobs, cache=cache):
+        result.points[(point.n_processes, point.timeout_ms)] = point
     return result
 
 

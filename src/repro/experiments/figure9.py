@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.scenarios import Scenario
 from repro.core.simulation import SimulationConfig, SimulationRunner
 from repro.experiments.figure8 import Figure8Point, Figure8Result, measure_class3_point
+from repro.experiments.runner import ReplicationPlan, ResultCache, SweepPoint, iter_plan
 from repro.experiments.settings import ExperimentSettings, scaled_timeouts
 from repro.sanmodels.fd_model import TransitionKind
 from repro.sanmodels.parameters import SANParameters
@@ -73,10 +74,97 @@ class Figure9Result:
         return series
 
 
+def _figure9_point(
+    settings: ExperimentSettings,
+    n_processes: int,
+    timeout_ms: float,
+    parameters: SANParameters,
+    simulate: bool,
+    sim_seeds: Tuple[Tuple[str, int], ...],
+    measurement: Optional[Figure8Point],
+    point_seed: int,
+) -> Figure9Point:
+    """One Figure 9 point: the class-3 measurement (unless reused from a
+    :class:`Figure8Result`) plus the SAN simulations fed by its QoS."""
+    if measurement is None:
+        measurement = measure_class3_point(
+            settings,
+            n_processes=n_processes,
+            timeout_ms=timeout_ms,
+            point_seed=point_seed,
+        )
+    latencies = measurement.latencies_ms
+    measured_latency = sum(latencies) / len(latencies) if latencies else float("nan")
+    point = Figure9Point(
+        n_processes=n_processes,
+        timeout_ms=timeout_ms,
+        measured_latency_ms=measured_latency,
+        undecided=measurement.undecided,
+    )
+    if simulate and measurement.qos is not None:
+        for kind, seed in sim_seeds:
+            simulation = SimulationRunner(
+                SimulationConfig(
+                    n_processes=n_processes,
+                    scenario=Scenario.wrong_suspicions(timeout_ms=timeout_ms),
+                    parameters=parameters,
+                    fd_qos=measurement.qos,
+                    fd_kind=kind,
+                    replications=settings.replications,
+                    seed=seed,
+                )
+            ).run()
+            point.simulated_latency_ms[kind] = simulation.mean_latency_ms
+    return point
+
+
+def figure9_plan(
+    settings: ExperimentSettings,
+    parameters: SANParameters,
+    figure8: Optional[Figure8Result] = None,
+) -> ReplicationPlan:
+    """The Figure 9 sweep: one point per (process count, timeout).
+
+    The simulation seeds are derived at plan-build time with a stable index
+    per FD kind (the previous code used ``hash(kind)``, which varies from
+    run to run under hash randomisation and would have defeated caching).
+    """
+    points = []
+    for n_index, n in enumerate(settings.class3_process_counts):
+        simulate = n in settings.simulated_process_counts
+        for t_index, timeout in enumerate(scaled_timeouts(settings.timeouts_ms, n)):
+            measurement: Optional[Figure8Point] = None
+            if figure8 is not None:
+                measurement = figure8.points.get((n, timeout))
+            sim_seeds = tuple(
+                (kind, settings.point_seed(9, n_index, t_index, 90 + kind_index))
+                for kind_index, kind in enumerate(FD_KINDS)
+            )
+            points.append(
+                SweepPoint.make(
+                    _figure9_point,
+                    kwargs={
+                        "settings": settings,
+                        "n_processes": n,
+                        "timeout_ms": timeout,
+                        "parameters": parameters,
+                        "simulate": simulate,
+                        "sim_seeds": sim_seeds,
+                        "measurement": measurement,
+                    },
+                    indices=(9, n_index, t_index),
+                    label=f"figure9 n={n} T={timeout}",
+                )
+            )
+    return ReplicationPlan(settings=settings, points=tuple(points), name="figure9")
+
+
 def run_figure9(
     settings: ExperimentSettings | None = None,
     figure8: Optional[Figure8Result] = None,
     parameters: Optional[SANParameters] = None,
+    jobs: Optional[int] = 1,
+    cache_dir: Optional[str] = None,
 ) -> Figure9Result:
     """Run the Figure 9 sweep (measurements, plus SAN simulations for the
     process counts in ``settings.simulated_process_counts``).
@@ -87,53 +175,12 @@ def run_figure9(
     """
     settings = settings or ExperimentSettings.from_environment()
     parameters = parameters or SANParameters()
+    plan = figure9_plan(settings, parameters, figure8)
+    cache = ResultCache(cache_dir) if cache_dir else None
     result = Figure9Result()
-    for n_index, n in enumerate(settings.class3_process_counts):
-        simulate = n in settings.simulated_process_counts
-        for t_index, timeout in enumerate(scaled_timeouts(settings.timeouts_ms, n)):
-            measurement = _measurement_point(settings, figure8, n, timeout, n_index, t_index)
-            latencies = measurement.latencies_ms
-            measured_latency = sum(latencies) / len(latencies) if latencies else float("nan")
-            point = Figure9Point(
-                n_processes=n,
-                timeout_ms=timeout,
-                measured_latency_ms=measured_latency,
-                undecided=measurement.undecided,
-            )
-            if simulate and measurement.qos is not None:
-                for kind in FD_KINDS:
-                    simulation = SimulationRunner(
-                        SimulationConfig(
-                            n_processes=n,
-                            scenario=Scenario.wrong_suspicions(timeout_ms=timeout),
-                            parameters=parameters,
-                            fd_qos=measurement.qos,
-                            fd_kind=kind,
-                            replications=settings.replications,
-                            seed=settings.point_seed(9, n_index, t_index, hash(kind) % 97),
-                        )
-                    ).run()
-                    point.simulated_latency_ms[kind] = simulation.mean_latency_ms
-            result.points[(n, timeout)] = point
+    for _point, point in iter_plan(plan, jobs=jobs, cache=cache):
+        result.points[(point.n_processes, point.timeout_ms)] = point
     return result
-
-
-def _measurement_point(
-    settings: ExperimentSettings,
-    figure8: Optional[Figure8Result],
-    n_processes: int,
-    timeout_ms: float,
-    n_index: int,
-    t_index: int,
-) -> Figure8Point:
-    if figure8 is not None and (n_processes, timeout_ms) in figure8.points:
-        return figure8.points[(n_processes, timeout_ms)]
-    return measure_class3_point(
-        settings,
-        n_processes=n_processes,
-        timeout_ms=timeout_ms,
-        point_seed=settings.point_seed(9, n_index, t_index),
-    )
 
 
 def format_figure9(result: Figure9Result) -> str:

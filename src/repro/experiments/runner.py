@@ -1,0 +1,296 @@
+"""Parallel replication/sweep engine for the experiment generators.
+
+Every figure and table of the paper is produced from a *grid of independent
+simulation points*: one (cluster size, scenario, timeout, ...) combination
+simulated with its own seed.  The per-figure modules used to iterate those
+grids serially; this module factors the iteration into a reusable engine:
+
+* :class:`SweepPoint` -- one independent point: a picklable module-level
+  function, its keyword arguments, and the seed-derivation indices;
+* :class:`ReplicationPlan` -- an ordered grid of points plus the
+  :class:`~repro.experiments.settings.ExperimentSettings` they share;
+* :func:`iter_plan` / :func:`execute_plan` -- run a plan either serially
+  (``jobs=1``, in-process, no pool) or on a
+  :class:`concurrent.futures.ProcessPoolExecutor`, streaming results back
+  *in plan order* so that aggregation is deterministic and independent of
+  worker scheduling;
+* :class:`ResultCache` -- optional on-disk memoisation keyed by
+  (point function, arguments, derived seed, settings), so re-rendering a
+  figure after a crash or with a different ``--jobs`` value is free.
+
+Determinism contract
+--------------------
+A point's seed is ``settings.point_seed(*point.indices)``: it depends only
+on the point's identity, never on its position in the plan or on the number
+of workers.  Results are yielded in plan order regardless of completion
+order.  Together these guarantee that ``jobs=1`` and ``jobs=N`` produce
+bit-for-bit identical aggregates (covered by
+``tests/test_experiments_runner.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.experiments.settings import ExperimentSettings
+
+__all__ = [
+    "SweepPoint",
+    "ReplicationPlan",
+    "ResultCache",
+    "iter_plan",
+    "execute_plan",
+    "resolve_jobs",
+]
+
+
+#: Bump when the execution semantics change in a way that invalidates
+#: previously cached point results.
+CACHE_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One independent simulation point of a sweep.
+
+    Attributes
+    ----------
+    func:
+        A *module-level* callable (so that it can be pickled for the process
+        pool).  It is invoked as ``func(**kwargs, **{seed_arg: seed})``.
+    kwargs:
+        Keyword arguments as a sorted tuple of ``(name, value)`` pairs; the
+        values must be picklable.  Use :meth:`make` to build points from a
+        plain ``dict``.
+    indices:
+        The seed-derivation path: the point's seed is
+        ``settings.point_seed(*indices)``.  Indices identify the point, not
+        its position in the plan, so reordering or filtering a plan never
+        changes any point's seed.
+    label:
+        Human-readable label used in logs and cache file names.
+    seed_arg:
+        Name of the keyword argument receiving the derived seed, or ``None``
+        for point functions that do not take a seed.
+    """
+
+    func: Callable[..., Any]
+    kwargs: Tuple[Tuple[str, Any], ...] = ()
+    indices: Tuple[int, ...] = ()
+    label: str = ""
+    seed_arg: Optional[str] = "point_seed"
+
+    @staticmethod
+    def make(
+        func: Callable[..., Any],
+        kwargs: Optional[Dict[str, Any]] = None,
+        indices: Iterable[int] = (),
+        label: str = "",
+        seed_arg: Optional[str] = "point_seed",
+    ) -> "SweepPoint":
+        """Build a point from a plain keyword dictionary."""
+        items = tuple(sorted((kwargs or {}).items(), key=lambda item: item[0]))
+        return SweepPoint(
+            func=func,
+            kwargs=items,
+            indices=tuple(int(i) for i in indices),
+            label=label,
+            seed_arg=seed_arg,
+        )
+
+    # ------------------------------------------------------------------
+    def seed(self, settings: ExperimentSettings) -> int:
+        """The deterministic seed of this point under ``settings``."""
+        return settings.point_seed(*self.indices)
+
+    def call_kwargs(self, settings: ExperimentSettings) -> Dict[str, Any]:
+        """The full keyword arguments, including the derived seed."""
+        kwargs = dict(self.kwargs)
+        if self.seed_arg is not None:
+            kwargs[self.seed_arg] = self.seed(settings)
+        return kwargs
+
+
+@dataclass(frozen=True)
+class ReplicationPlan:
+    """An ordered grid of independent points sharing one settings object."""
+
+    settings: ExperimentSettings
+    points: Tuple[SweepPoint, ...]
+    name: str = "sweep"
+
+    def __post_init__(self) -> None:
+        seen: Dict[Tuple[int, ...], str] = {}
+        for point in self.points:
+            previous = seen.get(point.indices)
+            if previous is not None:
+                raise ValueError(
+                    f"duplicate seed indices {point.indices} in plan {self.name!r} "
+                    f"({previous!r} vs {point.label!r}); points sharing indices "
+                    "would share a seed and be statistically dependent"
+                )
+            seen[point.indices] = point.label
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def seeds(self) -> List[int]:
+        """The derived seed of every point, in plan order."""
+        return [point.seed(self.settings) for point in self.points]
+
+
+# ----------------------------------------------------------------------
+# On-disk result cache
+# ----------------------------------------------------------------------
+class ResultCache:
+    """Pickle-based memoisation of point results.
+
+    The cache key hashes the point function's qualified name, its full call
+    arguments (including the derived seed) and the settings object, so a
+    cached entry is only ever reused for an exactly identical point.  Writes
+    are atomic (write to a temporary file, then ``os.replace``) so that a
+    killed run never leaves a truncated entry behind.
+    """
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def key(point: SweepPoint, settings: ExperimentSettings) -> str:
+        """Hex digest identifying (point, seed, settings)."""
+        identity = (
+            CACHE_FORMAT_VERSION,
+            point.func.__module__,
+            point.func.__qualname__,
+            tuple(sorted(point.call_kwargs(settings).items())),
+            settings,
+        )
+        payload = pickle.dumps(identity, protocol=pickle.HIGHEST_PROTOCOL)
+        return hashlib.sha256(payload).hexdigest()
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.pkl")
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Tuple[bool, Any]:
+        """``(hit, value)``; unreadable or corrupt entries count as misses.
+
+        Any failure to load counts as a miss -- unpickling executes class
+        lookups, so a stale entry can raise nearly anything (including
+        ``ImportError`` after a module rename); recomputing the point is
+        always a safe answer.
+        """
+        try:
+            with open(self._path(key), "rb") as handle:
+                return True, pickle.load(handle)
+        except Exception:
+            return False, None
+
+    def put(self, key: str, value: Any) -> None:
+        """Store one point result atomically."""
+        final_path = self._path(key)
+        fd, temp_path = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(temp_path, final_path)
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalise a ``--jobs`` value: ``None``/``0`` means one per CPU."""
+    if jobs is None or jobs == 0:
+        return max(1, os.cpu_count() or 1)
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 1 (or 0/None for auto), got {jobs}")
+    return jobs
+
+
+def _execute_payload(payload: Tuple[Callable[..., Any], Dict[str, Any]]) -> Any:
+    """Run one point in a worker process (module-level, hence picklable)."""
+    func, kwargs = payload
+    return func(**kwargs)
+
+
+def iter_plan(
+    plan: ReplicationPlan,
+    jobs: Optional[int] = 1,
+    cache: Optional[ResultCache] = None,
+) -> Iterator[Tuple[SweepPoint, Any]]:
+    """Execute a plan, yielding ``(point, result)`` pairs *in plan order*.
+
+    ``jobs=1`` runs every point in-process with no executor (the serial
+    fallback -- also the path taken on single-CPU machines); ``jobs>1``
+    submits all points to a :class:`ProcessPoolExecutor` up front and then
+    yields results in plan order as they complete, so aggregation can
+    stream without ever observing scheduler-dependent ordering.
+    """
+    jobs = resolve_jobs(jobs)
+    keys: List[Optional[str]] = []
+    cached: Dict[int, Any] = {}
+    for index, point in enumerate(plan.points):
+        if cache is None:
+            keys.append(None)
+            continue
+        key = ResultCache.key(point, plan.settings)
+        keys.append(key)
+        hit, value = cache.get(key)
+        if hit:
+            cached[index] = value
+
+    def finish(index: int, point: SweepPoint, result: Any) -> Tuple[SweepPoint, Any]:
+        if cache is not None and index not in cached:
+            key = keys[index]
+            assert key is not None
+            cache.put(key, result)
+        return point, result
+
+    if jobs == 1 or len(plan.points) - len(cached) <= 1:
+        for index, point in enumerate(plan.points):
+            if index in cached:
+                yield point, cached[index]
+                continue
+            result = point.func(**point.call_kwargs(plan.settings))
+            yield finish(index, point, result)
+        return
+
+    uncached_count = len(plan.points) - len(cached)
+    with ProcessPoolExecutor(max_workers=min(jobs, uncached_count)) as pool:
+        futures = {
+            index: pool.submit(
+                _execute_payload, (point.func, point.call_kwargs(plan.settings))
+            )
+            for index, point in enumerate(plan.points)
+            if index not in cached
+        }
+        for index, point in enumerate(plan.points):
+            if index in cached:
+                yield point, cached[index]
+            else:
+                yield finish(index, point, futures[index].result())
+
+
+def execute_plan(
+    plan: ReplicationPlan,
+    jobs: Optional[int] = 1,
+    cache_dir: Optional[str] = None,
+) -> List[Any]:
+    """Execute a plan and return the point results in plan order."""
+    cache = ResultCache(cache_dir) if cache_dir else None
+    return [result for _point, result in iter_plan(plan, jobs=jobs, cache=cache)]

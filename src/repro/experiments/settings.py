@@ -123,7 +123,15 @@ class ExperimentSettings:
         return self.cluster.replace(n_processes=n_processes, seed=point_seed)
 
     def point_seed(self, *indices: int) -> int:
-        """A deterministic seed for an experiment point identified by indices."""
+        """A deterministic seed for an experiment point identified by indices.
+
+        This is the seed-derivation primitive of the sweep runner
+        (:mod:`repro.experiments.runner`): the seed is a pure function of
+        the base ``seed`` and the index path, so it does not change when
+        points are reordered, filtered, or executed on a different number
+        of workers.  Distinct index paths yield distinct, statistically
+        independent streams.
+        """
         seed = self.seed
         for index in indices:
             seed = (seed * 1_000_003 + int(index) * 8_191 + 7) % (2**62)

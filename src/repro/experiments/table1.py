@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.scenarios import Scenario
 from repro.core.simulation import SimulationConfig, SimulationRunner
 from repro.experiments.figure7 import measure_latencies
+from repro.experiments.runner import ReplicationPlan, ResultCache, SweepPoint, iter_plan
 from repro.experiments.settings import ExperimentSettings
 from repro.sanmodels.parameters import SANParameters
 
@@ -60,9 +61,85 @@ class Table1Result:
         return self.simulated[(scenario_label, n)]
 
 
+def _table1_measured_point(
+    settings: ExperimentSettings,
+    scenario: Scenario,
+    n_processes: int,
+    point_seed: int,
+) -> float:
+    """One measured Table 1 cell: the mean latency of one (scenario, n)."""
+    latencies = measure_latencies(
+        settings,
+        n_processes=n_processes,
+        scenario=scenario,
+        executions=settings.executions,
+        point_seed=point_seed,
+    )
+    return sum(latencies) / len(latencies)
+
+
+def _table1_simulated_point(
+    settings: ExperimentSettings,
+    scenario: Scenario,
+    n_processes: int,
+    parameters: SANParameters,
+    point_seed: int,
+) -> float:
+    """One simulated Table 1 cell: the SAN mean latency of one (scenario, n)."""
+    simulation = SimulationRunner(
+        SimulationConfig(
+            n_processes=n_processes,
+            scenario=scenario,
+            parameters=parameters,
+            replications=settings.replications,
+            seed=point_seed,
+        )
+    ).run()
+    return simulation.mean_latency_ms
+
+
+def table1_plan(
+    settings: ExperimentSettings, parameters: SANParameters
+) -> ReplicationPlan:
+    """The Table 1 grid: measured and simulated cells as independent points.
+
+    Each point's label starts with ``measured``/``simulated`` and its kwargs
+    carry the scenario label, so the aggregation in :func:`run_table1` can
+    route results without re-deriving the grid.
+    """
+    points = []
+    for scenario_index, (label, scenario) in enumerate(SCENARIOS):
+        for n_index, n in enumerate(settings.measured_process_counts):
+            points.append(
+                SweepPoint.make(
+                    _table1_measured_point,
+                    kwargs={"settings": settings, "scenario": scenario, "n_processes": n},
+                    indices=(1, scenario_index, n_index),
+                    label=f"measured {label} n={n}",
+                )
+            )
+        for n_index, n in enumerate(settings.simulated_process_counts):
+            points.append(
+                SweepPoint.make(
+                    _table1_simulated_point,
+                    kwargs={
+                        "settings": settings,
+                        "scenario": scenario,
+                        "n_processes": n,
+                        "parameters": parameters,
+                    },
+                    indices=(1, scenario_index, n_index, 99),
+                    label=f"simulated {label} n={n}",
+                )
+            )
+    return ReplicationPlan(settings=settings, points=tuple(points), name="table1")
+
+
 def run_table1(
     settings: ExperimentSettings | None = None,
     parameters: Optional[SANParameters] = None,
+    jobs: Optional[int] = 1,
+    cache_dir: Optional[str] = None,
 ) -> Table1Result:
     """Regenerate Table 1 (measurements and SAN simulations)."""
     settings = settings or ExperimentSettings.from_environment()
@@ -71,28 +148,16 @@ def run_table1(
         simulated_process_counts=settings.simulated_process_counts,
     )
     parameters = parameters or SANParameters()
-
-    for scenario_index, (label, scenario) in enumerate(SCENARIOS):
-        for n_index, n in enumerate(settings.measured_process_counts):
-            latencies = measure_latencies(
-                settings,
-                n_processes=n,
-                scenario=scenario,
-                executions=settings.executions,
-                point_seed=settings.point_seed(1, scenario_index, n_index),
-            )
-            result.measured[(label, n)] = sum(latencies) / len(latencies)
-        for n_index, n in enumerate(settings.simulated_process_counts):
-            simulation = SimulationRunner(
-                SimulationConfig(
-                    n_processes=n,
-                    scenario=scenario,
-                    parameters=parameters,
-                    replications=settings.replications,
-                    seed=settings.point_seed(1, scenario_index, n_index, 99),
-                )
-            ).run()
-            result.simulated[(label, n)] = simulation.mean_latency_ms
+    plan = table1_plan(settings, parameters)
+    cache = ResultCache(cache_dir) if cache_dir else None
+    label_by_scenario = {scenario: label for label, scenario in SCENARIOS}
+    for point, mean in iter_plan(plan, jobs=jobs, cache=cache):
+        kwargs = dict(point.kwargs)
+        cell = (label_by_scenario[kwargs["scenario"]], kwargs["n_processes"])
+        if point.func is _table1_measured_point:
+            result.measured[cell] = mean
+        else:
+            result.simulated[cell] = mean
     return result
 
 

@@ -27,9 +27,23 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 from repro.failure_detectors.history import FailureDetectorHistory
+
+#: Crashed processes: either a bare collection (crash time taken as t=0,
+#: the common "initially crashed" scenarios) or a ``{process: crash_time}``
+#: mapping giving the actual crash instant of each process.
+CrashSpec = Union[Iterable[int], Mapping[int, float]]
+
+
+def _normalize_crashed(crashed: Optional[CrashSpec]) -> Dict[int, float]:
+    """``{process: crash_time}`` from either a set/sequence or a mapping."""
+    if crashed is None:
+        return {}
+    if isinstance(crashed, Mapping):
+        return {int(process): float(time) for process, time in crashed.items()}
+    return {int(process): 0.0 for process in crashed}
 
 
 @dataclass(frozen=True)
@@ -110,7 +124,7 @@ def estimate_qos(
     history: FailureDetectorHistory,
     n_processes: int,
     experiment_duration: float,
-    crashed: Optional[set[int]] = None,
+    crashed: Optional[CrashSpec] = None,
 ) -> QoSEstimate:
     """Estimate the overall QoS metrics of an experiment.
 
@@ -125,21 +139,24 @@ def estimate_qos(
         Total duration ``T_exp`` of the experiment (spanning every consensus
         execution, as in §4).
     crashed:
-        Processes that actually crashed.  Pairs whose monitored process
-        crashed contribute to the detection time ``T_D`` instead of to the
-        mistake metrics.
+        Processes that actually crashed: a set (crash at t=0) or a
+        ``{process: crash_time}`` mapping.  Pairs whose monitored process
+        crashed contribute to the detection time ``T_D`` -- measured from
+        the process's crash instant -- instead of to the mistake metrics.
     """
-    crashed = crashed or set()
+    crash_times = _normalize_crashed(crashed)
     pair_estimates: List[PairQoS] = []
     detection_times: List[float] = []
     for monitor in range(n_processes):
-        if monitor in crashed:
+        if monitor in crash_times:
             continue
         for monitored in range(n_processes):
             if monitored == monitor:
                 continue
-            if monitored in crashed:
-                detection = _detection_time(history, monitor, monitored)
+            if monitored in crash_times:
+                detection = _detection_time(
+                    history, monitor, monitored, crash_times[monitored]
+                )
                 if detection is not None:
                     detection_times.append(detection)
                 continue
@@ -177,18 +194,25 @@ def estimate_qos_from_intervals(
     history: FailureDetectorHistory,
     n_processes: int,
     experiment_duration: float,
+    crashed: Optional[CrashSpec] = None,
 ) -> Dict[str, float]:
     """Direct estimator: average gap between suspicion starts and average
     suspicion length, computed from the explicit intervals.
 
     This is a cross-check for :func:`estimate_qos`; the two agree when the
-    experiment is long compared with the mistake recurrence time.
+    experiment is long compared with the mistake recurrence time.  It
+    accepts the same ``crashed`` argument: pairs involving a crashed
+    process describe detection, not mistakes, so they are excluded from
+    the mistake metrics exactly as :func:`estimate_qos` excludes them.
     """
+    crash_times = _normalize_crashed(crashed)
     recurrence_gaps: List[float] = []
     durations: List[float] = []
     for monitor in range(n_processes):
+        if monitor in crash_times:
+            continue
         for monitored in range(n_processes):
-            if monitor == monitored:
+            if monitor == monitored or monitored in crash_times:
                 continue
             intervals = history.suspicion_intervals(
                 monitor, monitored, experiment_duration
@@ -207,11 +231,27 @@ def estimate_qos_from_intervals(
 
 
 def _detection_time(
-    history: FailureDetectorHistory, monitor: int, monitored: int
+    history: FailureDetectorHistory,
+    monitor: int,
+    monitored: int,
+    crash_time: float = 0.0,
 ) -> Optional[float]:
-    """Time of the last trust->suspect transition (crash assumed at t=0)."""
+    """Detection time ``T_D``: from the crash instant until the crashed
+    process is suspected permanently.
+
+    The permanent suspicion is the last trust->suspect transition of the
+    pair; transitions strictly before the crash are wrong suspicions of a
+    then-correct process and cannot constitute detection.  A monitor that
+    already (wrongly) suspected the process when it crashed, and never
+    trusted it again, detected the crash instantaneously (``T_D = 0``).
+    """
     transitions = history.pair_transitions(monitor, monitored)
-    suspect_times = [t.time for t in transitions if t.suspected]
-    if not suspect_times:
+    if not transitions:
         return None
-    return suspect_times[-1]
+    last = transitions[-1]
+    if not last.suspected:
+        return None  # the monitor trusts the process again: not detected
+    if last.time <= crash_time:
+        # Suspected since before the crash and never trusted again.
+        return 0.0
+    return last.time - crash_time

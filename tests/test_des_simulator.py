@@ -155,3 +155,68 @@ def test_peek_returns_next_event_time(sim):
     sim.schedule(3.0, lambda: None)
     sim.schedule(1.0, lambda: None)
     assert sim.peek() == 1.0
+
+
+# ----------------------------------------------------------------------
+# reset() regressions: a reset simulator must behave like a fresh one
+# ----------------------------------------------------------------------
+def test_reset_restores_the_sequence_counter(sim):
+    """Regression: reset() used to keep ``_seq``, so events scheduled after
+    a reset carried different tie-breaker sequence numbers than the same
+    events on a fresh simulator."""
+    sim.schedule(1.0, lambda: None)
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    sim.reset()
+    fresh = Simulator(seed=12345)
+    reset_events = [sim.schedule(2.0, lambda: None) for _ in range(3)]
+    fresh_events = [fresh.schedule(2.0, lambda: None) for _ in range(3)]
+    assert [e.seq for e in reset_events] == [e.seq for e in fresh_events] == [0, 1, 2]
+
+
+def test_reset_clears_trace_hooks(sim):
+    """Regression: reset() used to keep the trace hooks, so a reused
+    simulator kept firing observers registered for the previous run."""
+    seen = []
+    sim.add_trace_hook(lambda event: seen.append(event.time))
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert seen == [1.0]
+    sim.reset()
+    sim.schedule(2.0, lambda: None)
+    sim.run()
+    assert seen == [1.0]  # the stale hook did not fire again
+
+
+def test_reset_invalidates_stale_event_handles(sim):
+    event = sim.schedule(1.0, lambda: None)
+    sim.reset()
+    assert sim.pending_events == 0
+    assert not event.cancel()  # already discarded; must not corrupt counters
+    assert sim.pending_events == 0
+
+
+# ----------------------------------------------------------------------
+# pending_events live counter
+# ----------------------------------------------------------------------
+def test_pending_events_tracks_direct_and_simulator_cancellations(sim):
+    events = [sim.schedule(index + 1.0, lambda: None) for index in range(3)]
+    assert sim.pending_events == 3
+    events[0].cancel()  # direct cancellation, bypassing sim.cancel()
+    assert sim.pending_events == 2
+    assert sim.cancel(events[1])
+    assert sim.pending_events == 1
+    assert not events[1].cancel()  # double-cancel must not decrement again
+    assert sim.pending_events == 1
+    sim.run()
+    assert sim.pending_events == 0
+
+
+def test_pending_events_counter_survives_a_reset_cycle(sim):
+    sim.schedule(1.0, lambda: None)
+    event = sim.schedule(2.0, lambda: None)
+    event.cancel()
+    sim.reset()
+    assert sim.pending_events == 0
+    sim.schedule(1.0, lambda: None)
+    assert sim.pending_events == 1

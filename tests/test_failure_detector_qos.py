@@ -86,6 +86,67 @@ def test_estimate_qos_averages_over_pairs_and_separates_crashed_processes():
     assert 0.0 < qos.suspicion_fraction < 1.0
 
 
+def test_detection_time_is_measured_from_the_actual_crash_instant():
+    """Regression: T_D used to assume every crash happened at t=0, inflating
+    the detection time of mid-run crashes by the crash instant itself."""
+    history = FailureDetectorHistory()
+    # Process 1 crashes at t=40 and is suspected permanently at t=47.
+    history.record(0, 1, 47.0, suspected=True)
+    qos = estimate_qos(history, n_processes=2, experiment_duration=100.0, crashed={1: 40.0})
+    assert qos.detection_time == pytest.approx(7.0)
+
+
+def test_detection_time_with_a_set_still_measures_from_time_zero():
+    history = FailureDetectorHistory()
+    history.record(0, 1, 7.0, suspected=True)
+    qos = estimate_qos(history, n_processes=2, experiment_duration=100.0, crashed={1})
+    assert qos.detection_time == pytest.approx(7.0)
+
+
+def test_detection_is_instantaneous_when_already_suspected_at_the_crash():
+    history = FailureDetectorHistory()
+    # Wrongly suspected at t=30 and never trusted again; the crash at t=40
+    # is therefore detected immediately, not at -10.
+    history.record(0, 1, 30.0, suspected=True)
+    qos = estimate_qos(history, n_processes=2, experiment_duration=100.0, crashed={1: 40.0})
+    assert qos.detection_time == pytest.approx(0.0)
+
+
+def test_suspicions_retracted_after_the_crash_do_not_count_as_detection():
+    import math as _math
+
+    history = FailureDetectorHistory()
+    history.record(0, 1, 45.0, suspected=True)
+    history.record(0, 1, 50.0, suspected=False)  # trusted again: not detected
+    qos = estimate_qos(history, n_processes=2, experiment_duration=100.0, crashed={1: 40.0})
+    assert _math.isnan(qos.detection_time)
+
+
+def test_interval_estimator_honors_the_crashed_argument():
+    """Regression: the cross-check estimator used to include pairs involving
+    crashed processes, disagreeing with estimate_qos on crash scenarios."""
+    history = _periodic_history(0, 1, period=10.0, duration=2.0, experiment=1000.0)
+    # Process 2 crashed at t=100 and stays suspected forever afterwards: a
+    # huge "suspicion interval" that is detection, not a mistake.
+    history.record(0, 2, 105.0, suspected=True)
+    with_crash = estimate_qos_from_intervals(
+        history, n_processes=3, experiment_duration=1000.0, crashed={2: 100.0}
+    )
+    clean = estimate_qos_from_intervals(
+        history, n_processes=2, experiment_duration=1000.0
+    )
+    assert with_crash == clean
+    equations = estimate_qos(
+        history, n_processes=3, experiment_duration=1000.0, crashed={2: 100.0}
+    )
+    assert with_crash["mistake_duration"] == pytest.approx(
+        equations.mistake_duration, rel=0.05
+    )
+    assert with_crash["mistake_recurrence_time"] == pytest.approx(
+        equations.mistake_recurrence_time, rel=0.05
+    )
+
+
 def test_estimate_qos_with_no_mistakes_reports_infinite_recurrence():
     qos = estimate_qos(FailureDetectorHistory(), n_processes=3, experiment_duration=10.0)
     assert math.isinf(qos.mistake_recurrence_time)
