@@ -9,6 +9,7 @@ Usage::
     python -m repro.cli table1
     python -m repro.cli figure8
     python -m repro.cli figure9
+    python -m repro.cli faultsweep
     python -m repro.cli all
 
 ``--jobs N`` fans the independent points of each sweep out over N worker
@@ -29,6 +30,7 @@ import sys
 import time
 from typing import Callable, Dict, Optional
 
+from repro.experiments.fault_sweep import format_fault_sweep, run_fault_sweep
 from repro.experiments.figure6 import format_figure6, run_figure6
 from repro.experiments.figure7 import (
     format_latency_means,
@@ -94,6 +96,9 @@ REPORTS: Dict[str, Report] = {
     ),
     "figure9": lambda settings, jobs, cache_dir: format_figure9(
         run_figure9(settings, jobs=jobs, cache_dir=cache_dir)
+    ),
+    "faultsweep": lambda settings, jobs, cache_dir: format_fault_sweep(
+        run_fault_sweep(settings, jobs=jobs, cache_dir=cache_dir)
     ),
 }
 

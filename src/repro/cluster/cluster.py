@@ -18,6 +18,8 @@ from repro.cluster.host import Host
 from repro.cluster.neko import NekoProcess, ProtocolLayer
 from repro.cluster.tracing import MessageTrace
 from repro.cluster.transport import Transport
+from repro.faults.injector import FaultInjector
+from repro.faults.spec import FaultLoad
 
 #: A layer factory receives ``(simulator, process_id)`` and returns the
 #: protocol stack for that process, ordered top to bottom.
@@ -32,6 +34,12 @@ class Cluster:
     config:
         The cluster configuration (process count, network parameters,
         scheduler parameters, seed).
+    fault_load:
+        Optional composable fault load (:mod:`repro.faults`).  When given,
+        a :class:`~repro.faults.injector.FaultInjector` is threaded through
+        the transport (loss, duplication, partitions, reordering spikes),
+        the Ethernet hub (congestion spikes) and the hosts (CPU load
+        bursts), and crash-recovery faults are scheduled on the simulator.
 
     Examples
     --------
@@ -41,18 +49,34 @@ class Cluster:
     3
     """
 
-    def __init__(self, config: ClusterConfig) -> None:
+    def __init__(
+        self, config: ClusterConfig, fault_load: Optional[FaultLoad] = None
+    ) -> None:
         self.config = config
         self.sim = Simulator(seed=config.seed)
         self.trace = MessageTrace()
+        self.fault_injector: Optional[FaultInjector] = (
+            FaultInjector(self.sim, fault_load) if fault_load else None
+        )
         self.hosts: List[Host] = [
             Host(self.sim, index, config) for index in range(config.n_processes)
         ]
-        self.hub = EthernetHub(self.sim, config.network)
+        self.hub = EthernetHub(
+            self.sim,
+            config.network,
+            wire_time_hook=(
+                self.fault_injector.medium_extra_delay if self.fault_injector else None
+            ),
+        )
         self.transport = Transport(
-            self.sim, config, self.hosts, self.hub, trace=self.trace
+            self.sim, config, self.hosts, self.hub, trace=self.trace,
+            injector=self.fault_injector,
         )
         self.processes: List[NekoProcess] = []
+        if self.fault_injector is not None:
+            for host in self.hosts:
+                host.cpu_load = self.fault_injector.cpu_load_model(host.index)
+            self.fault_injector.install(self)
 
     # ------------------------------------------------------------------
     # Construction
@@ -83,6 +107,13 @@ class Cluster:
         self.hosts[process_id].crash()
         if process_id < len(self.processes):
             self.processes[process_id].crash()
+
+    def recover_process(self, process_id: int) -> None:
+        """Recover a crashed process (crash-recovery fault loads)."""
+        if process_id < len(self.processes):
+            self.processes[process_id].recover()
+        else:
+            self.hosts[process_id].recover()
 
     # ------------------------------------------------------------------
     # Execution

@@ -10,7 +10,7 @@ transmission time derived from the frame size and the raw bandwidth.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Optional
 
 from repro.des.resource import Resource
 from repro.des.simulator import Simulator
@@ -27,11 +27,22 @@ class EthernetHub:
         The owning simulator.
     params:
         Bandwidth, frame overhead and hub latency.
+    wire_time_hook:
+        Optional hook ``(message, now_ms) -> extra_ms`` lengthening a
+        frame's occupancy of the shared medium -- the fault-injection point
+        for congestion-style delay spikes, which delay everything queued
+        behind the affected frame.
     """
 
-    def __init__(self, sim: Simulator, params: NetworkParameters) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        params: NetworkParameters,
+        wire_time_hook: Optional[Callable[[Message, float], float]] = None,
+    ) -> None:
         self.sim = sim
         self.params = params
+        self.wire_time_hook = wire_time_hook
         self.medium = Resource(sim, "ethernet.medium", capacity=1)
         self.frames_transmitted = 0
         self.bytes_transmitted = 0
@@ -45,6 +56,8 @@ class EthernetHub:
         this stage.
         """
         wire_time = self.frame_time(message.size_bytes) + self.params.hub_latency_ms
+        if self.wire_time_hook is not None:
+            wire_time += max(0.0, float(self.wire_time_hook(message, self.sim.now)))
         self.medium.request(
             wire_time,
             self._transmitted,

@@ -8,7 +8,7 @@ a local clock, and operating-system scheduling behaviour affecting timers
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -82,6 +82,9 @@ class Host:
             config.scheduler, sim.random.stream(f"{self.name}.scheduler")
         )
         self.crashed = False
+        #: Optional fault-injection hook ``now_ms -> multiplier`` scaling
+        #: every CPU occupancy on this host (CPU load bursts).
+        self.cpu_load: Optional[Callable[[float], float]] = None
 
     # ------------------------------------------------------------------
     def local_time(self) -> float:
@@ -92,10 +95,16 @@ class Host:
         """Crash the host: it stops processing and sending anything."""
         self.crashed = True
 
+    def recover(self) -> None:
+        """Recover a crashed host: it accepts and sends messages again."""
+        self.crashed = False
+
     def use_cpu(
         self, duration: float, callback: Callable[..., None], *args: object
     ) -> None:
         """Occupy this host's CPU for ``duration`` ms, then call ``callback``."""
+        if self.cpu_load is not None:
+            duration *= float(self.cpu_load(self.sim.now))
         self.cpu.request(duration, callback, *args, label=self.name)
 
     def sleep(

@@ -42,6 +42,10 @@ class Message:
     parent_id:
         For unicast copies created from a broadcast, the id of the original
         broadcast message.
+    injected_duplicate:
+        ``True`` for extra copies created by fault injection (message
+        duplication); such copies keep the original's ``parent_id`` so the
+        broadcast statistics stay untouched.
     """
 
     sender: int
@@ -51,6 +55,7 @@ class Message:
     size_bytes: int = 100
     msg_id: int = field(default_factory=lambda: next(_message_counter))
     parent_id: Optional[int] = None
+    injected_duplicate: bool = False
 
     # Timestamps stamped by the transport (global simulation time, ms).
     submitted_at: Optional[float] = None
@@ -72,6 +77,19 @@ class Message:
             payload=dict(self.payload),
             size_bytes=self.size_bytes,
             parent_id=self.msg_id,
+        )
+
+    def duplicate_copy(self) -> "Message":
+        """A fault-injected duplicate: fresh id, same route and lineage."""
+        return Message(
+            sender=self.sender,
+            destination=self.destination,
+            msg_type=self.msg_type,
+            payload=dict(self.payload),
+            size_bytes=self.size_bytes,
+            parent_id=self.parent_id,
+            injected_duplicate=True,
+            submitted_at=self.submitted_at,
         )
 
     def end_to_end_delay(self) -> Optional[float]:

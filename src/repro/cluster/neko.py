@@ -193,10 +193,32 @@ class NekoProcess(SimProcess):
         self._started = False
 
     def crash(self) -> None:
-        """Crash the process (and its host)."""
+        """Crash the process (and its host).
+
+        Layers are stopped, not just stripped of their named timers:
+        ``stop()`` also clears layer-internal running flags, so a callback
+        scheduled directly on the simulator before the crash (e.g. a
+        heartbeat emission sleeping in the OS scheduler) finds its layer
+        stopped and does not resume a second loop after a quick recovery.
+        """
         self.host.crash()
         for layer in self.layers:
-            layer.cancel_all_timers()
+            layer.stop()
+
+    def recover(self) -> None:
+        """Recover a crashed process: restart its layers (crash-recovery).
+
+        The layers lost all timers at crash time, so restarting them
+        bottom-up re-arms heartbeats and other periodic behaviour; the
+        transport delivers messages to this process again as soon as the
+        host is up.
+        """
+        if not self.host.crashed:
+            return
+        self.host.recover()
+        if self._started:
+            for layer in reversed(self.layers):
+                layer.start()
 
     # ------------------------------------------------------------------
     def transport_send(self, message: Message) -> None:

@@ -26,6 +26,7 @@ class TraceRecord:
     size_bytes: int
     submitted_at: float
     delivered_at: float
+    injected_duplicate: bool = False
 
     @property
     def end_to_end_delay(self) -> float:
@@ -59,6 +60,7 @@ class MessageTrace:
                 size_bytes=message.size_bytes,
                 submitted_at=message.submitted_at,
                 delivered_at=message.delivered_at,
+                injected_duplicate=message.injected_duplicate,
             )
         )
 

@@ -32,10 +32,16 @@ from repro.des.simulator import Simulator
 from repro.cluster.config import ClusterConfig
 from repro.cluster.ethernet import EthernetHub
 from repro.cluster.host import Host
-from repro.cluster.message import BROADCAST, Message
+from repro.cluster.message import Message
 from repro.cluster.tracing import MessageTrace
+from repro.faults.injector import FaultInjector
 
 DeliverCallback = Callable[[Message], None]
+
+#: Drop causes attributed by the transport itself (the fault injector adds
+#: its own, e.g. ``"loss"`` and ``"partition"``).
+CAUSE_SENDER_CRASHED = "sender-crashed"
+CAUSE_RECEIVER_CRASHED = "receiver-crashed"
 
 
 class Transport:
@@ -53,6 +59,17 @@ class Transport:
         The shared Ethernet segment.
     trace:
         Optional message trace receiving every delivery.
+    injector:
+        Optional fault injector consulted once per unicast copy entering
+        the wire (loss, duplication, partitions) and once per message in
+        the receiving protocol stack (reordering delay-spikes).
+
+    Drop accounting is **per unicast copy** at every stage: a broadcast by
+    a crashed sender counts ``n - 1`` drops, exactly like the per-copy
+    drops later in the pipeline, and every drop is attributed to a
+    ``stage:cause`` key in :attr:`drops_by_cause` (stages ``send`` /
+    ``wire`` / ``receive``; causes ``sender-crashed`` / ``loss`` /
+    ``partition`` / ``receiver-crashed``).
     """
 
     def __init__(
@@ -62,17 +79,21 @@ class Transport:
         hosts: Sequence[Host],
         hub: EthernetHub,
         trace: Optional[MessageTrace] = None,
+        injector: Optional[FaultInjector] = None,
     ) -> None:
         self.sim = sim
         self.config = config
         self.hosts = list(hosts)
         self.hub = hub
         self.trace = trace
+        self.injector = injector
         self._receivers: Dict[int, DeliverCallback] = {}
         self._stack_rng = sim.random.stream("transport.stack")
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
+        self.messages_duplicated = 0
+        self.drops_by_cause: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Wiring
@@ -88,7 +109,13 @@ class Transport:
         """Send ``message``; broadcasts are expanded into unicast copies."""
         sender_host = self.hosts[message.sender]
         if sender_host.crashed:
-            self.messages_dropped += 1
+            # Count per unicast copy, like every later pipeline stage does.
+            if message.is_broadcast:
+                for destination in self._broadcast_destinations(message.sender):
+                    self._drop(message.unicast_copy(destination), "send",
+                               CAUSE_SENDER_CRASHED)
+            else:
+                self._drop(message, "send", CAUSE_SENDER_CRASHED)
             return
         message.submitted_at = self.sim.now
         if message.is_broadcast:
@@ -119,19 +146,31 @@ class Transport:
     # ------------------------------------------------------------------
     def _after_send_cpu(self, message: Message) -> None:
         if self.hosts[message.sender].crashed:
-            self.messages_dropped += 1
+            self._drop(message, "send", CAUSE_SENDER_CRASHED)
             return
+        if self.injector is not None:
+            decision = self.injector.decide_unicast(message, self.sim.now)
+            if decision.drop_cause is not None:
+                self._drop(message, "wire", decision.drop_cause)
+                return
+            for _ in range(decision.duplicates):
+                duplicate = message.duplicate_copy()
+                duplicate.sent_at = self.sim.now
+                self.messages_duplicated += 1
+                self.hub.transmit(duplicate, self._after_wire)
         message.sent_at = self.sim.now
         self.hub.transmit(message, self._after_wire)
 
     def _after_wire(self, message: Message) -> None:
         stack_latency = self._sample_stack_latency()
+        if self.injector is not None:
+            stack_latency += self.injector.stack_extra_delay(message, self.sim.now)
         self.sim.schedule(stack_latency, self._after_stack, message)
 
     def _after_stack(self, message: Message) -> None:
         destination_host = self.hosts[message.destination]
         if destination_host.crashed:
-            self.messages_dropped += 1
+            self._drop(message, "receive", CAUSE_RECEIVER_CRASHED)
             return
         destination_host.use_cpu(
             self.config.network.cpu_receive_ms, self._deliver, message
@@ -140,7 +179,7 @@ class Transport:
     def _deliver(self, message: Message) -> None:
         destination_host = self.hosts[message.destination]
         if destination_host.crashed:
-            self.messages_dropped += 1
+            self._drop(message, "receive", CAUSE_RECEIVER_CRASHED)
             return
         message.delivered_at = self.sim.now
         self.messages_delivered += 1
@@ -149,6 +188,13 @@ class Transport:
         receiver = self._receivers.get(message.destination)
         if receiver is not None:
             receiver(message)
+
+    # ------------------------------------------------------------------
+    def _drop(self, message: Message, stage: str, cause: str) -> None:
+        """Count one dropped unicast copy, attributed to ``stage:cause``."""
+        self.messages_dropped += 1
+        key = f"{stage}:{cause}"
+        self.drops_by_cause[key] = self.drops_by_cause.get(key, 0) + 1
 
     # ------------------------------------------------------------------
     def _sample_stack_latency(self) -> float:

@@ -20,11 +20,13 @@ from repro.cluster.message import BROADCAST, Message
 from repro.cluster.neko import ProtocolLayer
 from repro.consensus.chandra_toueg import ChandraTouegConsensus
 from repro.core.latency import LatencyRecorder
-from repro.core.scenarios import RunClass, Scenario
+from repro.core.scenarios import Scenario
 from repro.failure_detectors.heartbeat import HeartbeatFailureDetector
 from repro.failure_detectors.history import FailureDetectorHistory
 from repro.failure_detectors.qos import QoSEstimate, estimate_qos
 from repro.failure_detectors.static import StaticFailureDetector
+from repro.faults.injector import FaultStats
+from repro.faults.spec import FaultLoad
 from repro.stats.cdf import EmpiricalCDF
 from repro.stats.descriptive import SampleSummary, summarize
 
@@ -64,6 +66,9 @@ class MeasurementConfig:
         In sequential mode, give up on an execution that has not decided
         after this long and start the next one (the execution is counted as
         undecided).  ``None`` waits indefinitely.
+    fault_load:
+        Optional composable fault load (:mod:`repro.faults`) injected into
+        the cluster's transport, hub and hosts for the whole experiment.
     """
 
     cluster: ClusterConfig
@@ -74,6 +79,7 @@ class MeasurementConfig:
     extra_time_ms: float = 1_000.0
     sequential: bool = False
     max_instance_time_ms: Optional[float] = None
+    fault_load: Optional[FaultLoad] = None
 
     def __post_init__(self) -> None:
         if self.executions < 1:
@@ -102,6 +108,11 @@ class MeasurementResult:
     experiment_duration_ms: float
     messages_delivered: int
     heartbeats_sent: int = 0
+    messages_sent: int = 0
+    messages_dropped: int = 0
+    drops_by_cause: Dict[str, int] = field(default_factory=dict)
+    messages_duplicated: int = 0
+    fault_stats: Optional[FaultStats] = None
 
     @property
     def mean_latency_ms(self) -> float:
@@ -122,7 +133,7 @@ class MeasurementRunner:
         self.config = config
         self.fd_history = FailureDetectorHistory()
         self.recorder = LatencyRecorder()
-        self.cluster = Cluster(config.cluster)
+        self.cluster = Cluster(config.cluster, fault_load=config.fault_load)
         self._consensus_layers: List[ChandraTouegConsensus] = []
         self._fd_layers: List[ProtocolLayer] = []
         self._build_processes()
@@ -323,6 +334,15 @@ class MeasurementRunner:
             experiment_duration_ms=duration,
             messages_delivered=self.cluster.transport.messages_delivered,
             heartbeats_sent=heartbeats,
+            messages_sent=self.cluster.transport.messages_sent,
+            messages_dropped=self.cluster.transport.messages_dropped,
+            drops_by_cause=dict(self.cluster.transport.drops_by_cause),
+            messages_duplicated=self.cluster.transport.messages_duplicated,
+            fault_stats=(
+                self.cluster.fault_injector.stats
+                if self.cluster.fault_injector is not None
+                else None
+            ),
         )
 
 

@@ -126,9 +126,15 @@ class SimulationRunner:
             max_time_ms=config.max_time_ms,
         )
 
-    def run(self) -> SimulationResult:
-        """Run the replications and collect the latency statistics."""
-        san_result = self.experiment().run(replications=self.config.replications)
+    def run(self, jobs: Optional[int] = 1) -> SimulationResult:
+        """Run the replications and collect the latency statistics.
+
+        ``jobs > 1`` runs the SAN replications on a worker pool through the
+        sweep engine; results are bit-identical to a serial run.
+        """
+        san_result = self.experiment().run(
+            replications=self.config.replications, jobs=jobs
+        )
         latencies = san_result.latencies_ms
         return SimulationResult(
             config=self.config,

@@ -38,6 +38,17 @@ class RandomStreams:
         self._master = np.random.SeedSequence(seed)
         self._streams: Dict[str, np.random.Generator] = {}
 
+    @classmethod
+    def _from_sequence(
+        cls, master: np.random.SeedSequence, seed: Optional[int]
+    ) -> "RandomStreams":
+        """Build an instance rooted at an existing seed sequence (spawn)."""
+        instance = cls.__new__(cls)
+        instance._seed = seed
+        instance._master = master
+        instance._streams = {}
+        return instance
+
     @property
     def seed(self) -> Optional[int]:
         """The master seed this instance was created with."""
@@ -52,7 +63,7 @@ class RandomStreams:
         if name not in self._streams:
             child = np.random.SeedSequence(
                 entropy=self._master.entropy,
-                spawn_key=(_stable_hash(name),),
+                spawn_key=tuple(self._master.spawn_key) + (_stable_hash(name),),
             )
             self._streams[name] = np.random.default_rng(child)
         return self._streams[name]
@@ -70,12 +81,20 @@ class RandomStreams:
         """Create a child :class:`RandomStreams` rooted at ``name``.
 
         Used to give each replication of an experiment its own family of
-        streams while remaining a pure function of the master seed.
+        streams while remaining a pure function of the master seed.  The
+        child's master is derived by extending this instance's
+        :class:`~numpy.random.SeedSequence` spawn key (the tagged hash keeps
+        ``spawn(x).stream(y)`` disjoint from ``stream(x)`` even when the
+        names collide), so children of different masters never alias and
+        non-integer entropy (e.g. OS-drawn entropy tuples) is preserved
+        rather than discarded.
         """
-        entropy = self._master.entropy
-        base = entropy if isinstance(entropy, int) else 0
-        child_seed = (base + _stable_hash(name)) % (2**63)
-        return RandomStreams(child_seed)
+        child = np.random.SeedSequence(
+            entropy=self._master.entropy,
+            spawn_key=tuple(self._master.spawn_key)
+            + (_stable_hash(f"spawn:{name}"),),
+        )
+        return RandomStreams._from_sequence(child, seed=self._seed)
 
 
 def _stable_hash(name: str) -> int:

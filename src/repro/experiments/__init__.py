@@ -30,6 +30,7 @@ parallelism; results are bit-for-bit independent of the worker count) and
 ``cache_dir=`` (on-disk memoisation of per-point results).
 """
 
+from repro.experiments.fault_sweep import FaultSweepResult, run_fault_sweep
 from repro.experiments.figure6 import Figure6Result, run_figure6
 from repro.experiments.figure7 import (
     Figure7aResult,
@@ -58,6 +59,7 @@ __all__ = [
     "SweepPoint",
     "execute_plan",
     "iter_plan",
+    "FaultSweepResult",
     "Figure6Result",
     "Figure7aResult",
     "Figure7bResult",
@@ -65,6 +67,7 @@ __all__ = [
     "Figure9Result",
     "LatencyMeansResult",
     "Table1Result",
+    "run_fault_sweep",
     "run_figure6",
     "run_figure7a",
     "run_figure7b",

@@ -35,12 +35,22 @@ import os
 import pickle
 import tempfile
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
-
-from repro.experiments.settings import ExperimentSettings
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Protocol,
+    Tuple,
+    runtime_checkable,
+)
 
 __all__ = [
+    "SeedSettings",
     "SweepPoint",
     "ReplicationPlan",
     "ResultCache",
@@ -48,6 +58,22 @@ __all__ = [
     "execute_plan",
     "resolve_jobs",
 ]
+
+
+@runtime_checkable
+class SeedSettings(Protocol):
+    """What a plan's ``settings`` object must provide.
+
+    :class:`~repro.experiments.settings.ExperimentSettings` is the usual
+    implementation; the SAN solver (:mod:`repro.san.solver`) supplies its
+    own so that its replications ride on the same engine.  The object must
+    be picklable (it travels to worker processes inside point kwargs) and
+    should be hashable/stable so cache keys are meaningful.
+    """
+
+    def point_seed(self, *indices: int) -> int:
+        """A deterministic seed for the point identified by ``indices``."""
+        ...
 
 
 #: Bump when the execution semantics change in a way that invalidates
@@ -105,11 +131,11 @@ class SweepPoint:
         )
 
     # ------------------------------------------------------------------
-    def seed(self, settings: ExperimentSettings) -> int:
+    def seed(self, settings: SeedSettings) -> int:
         """The deterministic seed of this point under ``settings``."""
         return settings.point_seed(*self.indices)
 
-    def call_kwargs(self, settings: ExperimentSettings) -> Dict[str, Any]:
+    def call_kwargs(self, settings: SeedSettings) -> Dict[str, Any]:
         """The full keyword arguments, including the derived seed."""
         kwargs = dict(self.kwargs)
         if self.seed_arg is not None:
@@ -121,7 +147,7 @@ class SweepPoint:
 class ReplicationPlan:
     """An ordered grid of independent points sharing one settings object."""
 
-    settings: ExperimentSettings
+    settings: SeedSettings
     points: Tuple[SweepPoint, ...]
     name: str = "sweep"
 
@@ -164,7 +190,7 @@ class ResultCache:
 
     # ------------------------------------------------------------------
     @staticmethod
-    def key(point: SweepPoint, settings: ExperimentSettings) -> str:
+    def key(point: SweepPoint, settings: SeedSettings) -> str:
         """Hex digest identifying (point, seed, settings)."""
         identity = (
             CACHE_FORMAT_VERSION,
@@ -232,6 +258,7 @@ def iter_plan(
     plan: ReplicationPlan,
     jobs: Optional[int] = 1,
     cache: Optional[ResultCache] = None,
+    pool: Optional[ProcessPoolExecutor] = None,
 ) -> Iterator[Tuple[SweepPoint, Any]]:
     """Execute a plan, yielding ``(point, result)`` pairs *in plan order*.
 
@@ -240,6 +267,12 @@ def iter_plan(
     submits all points to a :class:`ProcessPoolExecutor` up front and then
     yields results in plan order as they complete, so aggregation can
     stream without ever observing scheduler-dependent ordering.
+
+    ``pool`` lends an existing executor instead of creating one per call
+    (the caller keeps ownership and shuts it down) -- used by callers that
+    execute many small plans in a loop, e.g. the SAN solver's
+    relative-precision chunks, where a per-chunk pool startup would cost
+    more than the chunk itself.
     """
     jobs = resolve_jobs(jobs)
     keys: List[Optional[str]] = []
@@ -261,7 +294,7 @@ def iter_plan(
             cache.put(key, result)
         return point, result
 
-    if jobs == 1 or len(plan.points) - len(cached) <= 1:
+    if pool is None and (jobs == 1 or len(plan.points) - len(cached) <= 1):
         for index, point in enumerate(plan.points):
             if index in cached:
                 yield point, cached[index]
@@ -271,7 +304,10 @@ def iter_plan(
         return
 
     uncached_count = len(plan.points) - len(cached)
-    with ProcessPoolExecutor(max_workers=min(jobs, uncached_count)) as pool:
+    owned = pool is None
+    if owned:
+        pool = ProcessPoolExecutor(max_workers=min(jobs, uncached_count))
+    try:
         futures = {
             index: pool.submit(
                 _execute_payload, (point.func, point.call_kwargs(plan.settings))
@@ -284,6 +320,9 @@ def iter_plan(
                 yield point, cached[index]
             else:
                 yield finish(index, point, futures[index].result())
+    finally:
+        if owned:
+            pool.shutdown()
 
 
 def execute_plan(

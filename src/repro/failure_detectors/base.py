@@ -44,8 +44,14 @@ class FailureDetectorLayer(ProtocolLayer):
         return set(self._suspected)
 
     def add_listener(self, listener: SuspicionListener) -> None:
-        """Register a callback for suspicion-status changes."""
-        self._listeners.append(listener)
+        """Register a callback for suspicion-status changes (idempotent).
+
+        Layers re-register on every ``start()`` -- including restarts after
+        a crash-recovery fault -- so double registration must not double
+        the callbacks.
+        """
+        if listener not in self._listeners:
+            self._listeners.append(listener)
 
     def remove_listener(self, listener: SuspicionListener) -> None:
         """Remove a previously registered callback (no-op if absent)."""

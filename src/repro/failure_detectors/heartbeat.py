@@ -78,13 +78,21 @@ class HeartbeatFailureDetector(FailureDetectorLayer):
         self.heartbeats_sent = 0
         self.heartbeats_received = 0
         self._running = False
+        self._emit_epoch = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def start(self) -> None:
-        """Arm the heartbeat emission loop and the per-peer timeout timers."""
+        """Arm the heartbeat emission loop and the per-peer timeout timers.
+
+        Starting bumps the emission epoch: a sleep scheduled by a previous
+        life of this layer (e.g. before a crash, with the recovery arriving
+        within one heartbeat period) carries a stale epoch and dies instead
+        of resuming a second emission loop.
+        """
         self._running = True
+        self._emit_epoch += 1
         self._schedule_next_heartbeat()
         for peer in self._peers():
             self._arm_timeout(peer)
@@ -103,9 +111,13 @@ class HeartbeatFailureDetector(FailureDetectorLayer):
     def _schedule_next_heartbeat(self) -> None:
         if not self._running or self.process is None or self.process.crashed:
             return
-        self.process.host.sleep(self.heartbeat_period_ms, self._emit_heartbeat)
+        self.process.host.sleep(
+            self.heartbeat_period_ms, self._emit_heartbeat, self._emit_epoch
+        )
 
-    def _emit_heartbeat(self) -> None:
+    def _emit_heartbeat(self, epoch: int) -> None:
+        if epoch != self._emit_epoch:
+            return  # stale wake-up from before a stop/crash + restart
         if not self._running or self.process is None or self.process.crashed:
             return
         message = Message(

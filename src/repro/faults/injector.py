@@ -1,0 +1,266 @@
+"""Runtime fault injection for the simulated cluster.
+
+A :class:`FaultInjector` turns a declarative
+:class:`~repro.faults.spec.FaultLoad` into runtime behaviour through three
+hook points the cluster threads through its components:
+
+* the **transport** consults :meth:`FaultInjector.decide_unicast` once per
+  unicast copy entering the wire (loss, duplication, partitions) and
+  :meth:`FaultInjector.stack_extra_delay` in the receiving protocol stack
+  (reordering delay-spikes);
+* the **Ethernet hub** adds :meth:`FaultInjector.medium_extra_delay` to a
+  frame's occupancy of the shared medium (congestion-style delay spikes);
+* each **host** scales its CPU occupancy by the per-host closure from
+  :meth:`FaultInjector.cpu_load_model` (CPU load bursts), and
+  crash-recovery faults are driven by simulator events scheduled at
+  :meth:`FaultInjector.install` time.
+
+Every random decision draws from its own named stream of the simulator's
+:class:`~repro.des.random.RandomStreams` (``faults.loss``, ``faults.dup``,
+``faults.delay``), so composing fault types never perturbs the draws of
+another type and runs are reproducible under a fixed seed.  Every injected
+fault is counted in :attr:`FaultInjector.stats` and recorded as a
+:class:`FaultEvent` trace entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+from repro.des.simulator import Simulator
+from repro.faults.spec import (
+    CpuLoadBurst,
+    CrashRecovery,
+    DelaySpike,
+    FaultLoad,
+    MessageDuplication,
+    MessageLoss,
+    NetworkPartition,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.cluster.cluster import Cluster
+    from repro.cluster.message import Message
+
+#: Drop cause attributed to probabilistic message loss.
+CAUSE_LOSS = "loss"
+#: Drop cause attributed to an active network partition.
+CAUSE_PARTITION = "partition"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault occurrence (the fault trace)."""
+
+    time_ms: float
+    kind: str
+    detail: str
+
+
+@dataclass
+class FaultStats:
+    """Counters of injected faults, by kind."""
+
+    messages_lost: int = 0
+    partition_drops: int = 0
+    duplicates_injected: int = 0
+    delay_spikes: int = 0
+    crashes: int = 0
+    recoveries: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """All counters as a flat dictionary (for reports)."""
+        return {
+            "messages_lost": self.messages_lost,
+            "partition_drops": self.partition_drops,
+            "duplicates_injected": self.duplicates_injected,
+            "delay_spikes": self.delay_spikes,
+            "crashes": self.crashes,
+            "recoveries": self.recoveries,
+        }
+
+
+@dataclass(frozen=True)
+class UnicastDecision:
+    """The injector's verdict for one unicast copy entering the wire."""
+
+    drop_cause: Optional[str] = None
+    duplicates: int = 0
+
+
+#: The verdict letting a message through untouched.
+PASS = UnicastDecision()
+
+
+class FaultInjector:
+    """Applies a :class:`FaultLoad` to one simulated cluster run.
+
+    Parameters
+    ----------
+    sim:
+        The owning simulator (supplies virtual time and random streams).
+    load:
+        The declarative fault load to apply.
+    trace:
+        Record a :class:`FaultEvent` per injection when ``True``.  The
+        trace is unbounded, so long soak runs may want it off.
+    """
+
+    def __init__(self, sim: Simulator, load: FaultLoad, trace: bool = True) -> None:
+        self.sim = sim
+        self.load = load
+        self.stats = FaultStats()
+        self.events: List[FaultEvent] = []
+        self._trace = trace
+        self._loss = load.select(MessageLoss)
+        self._duplication = load.select(MessageDuplication)
+        self._stack_spikes = tuple(
+            f for f in load.select(DelaySpike) if f.where == "stack"
+        )
+        self._medium_spikes = tuple(
+            f for f in load.select(DelaySpike) if f.where == "medium"
+        )
+        self._partitions = load.select(NetworkPartition)
+        self._crash_recovery = load.select(CrashRecovery)
+        self._cpu_bursts = load.select(CpuLoadBurst)
+        self._loss_rng = sim.random.stream("faults.loss") if self._loss else None
+        self._dup_rng = sim.random.stream("faults.dup") if self._duplication else None
+        self._delay_rng = (
+            sim.random.stream("faults.delay")
+            if (self._stack_spikes or self._medium_spikes)
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def install(self, cluster: "Cluster") -> None:
+        """Schedule the time-driven faults (crash-recovery) on ``cluster``.
+
+        Validates fault targets against the cluster size up front, so a
+        misconfigured load fails at construction time instead of raising
+        (or silently no-opping) mid-simulation.
+        """
+        for fault in self._crash_recovery:
+            if fault.process_id >= len(cluster.hosts):
+                raise ValueError(
+                    f"CrashRecovery targets process {fault.process_id}, but the "
+                    f"cluster has only {len(cluster.hosts)} processes"
+                )
+            self.sim.schedule_at(
+                fault.crash_at_ms, self._do_crash, cluster, fault.process_id
+            )
+            if fault.recover_at_ms is not None:
+                self.sim.schedule_at(
+                    fault.recover_at_ms, self._do_recover, cluster, fault.process_id
+                )
+
+    def cpu_load_model(self, host_index: int) -> Optional[Callable[[float], float]]:
+        """The CPU slowdown model for one host, or ``None`` if unaffected."""
+        bursts = tuple(
+            burst
+            for burst in self._cpu_bursts
+            if burst.hosts is None or host_index in burst.hosts
+        )
+        if not bursts:
+            return None
+
+        def factor(now_ms: float) -> float:
+            slowdown = 1.0
+            for burst in bursts:
+                if burst.active(now_ms, host_index):
+                    slowdown *= burst.slowdown
+            return slowdown
+
+        return factor
+
+    # ------------------------------------------------------------------
+    # Hook points
+    # ------------------------------------------------------------------
+    def decide_unicast(self, message: "Message", now_ms: float) -> UnicastDecision:
+        """Loss / partition / duplication verdict for one unicast copy."""
+        for partition in self._partitions:
+            if partition.active(now_ms) and partition.separates(
+                message.sender, message.destination
+            ):
+                self.stats.partition_drops += 1
+                self._record(
+                    "partition-drop",
+                    f"{message.msg_type} p{message.sender}->p{message.destination}",
+                )
+                return UnicastDecision(drop_cause=CAUSE_PARTITION)
+        if self._loss_rng is not None:
+            for fault in self._loss:
+                if not fault.applies_to(message.msg_type):
+                    continue
+                if fault.rate > 0.0 and self._loss_rng.random() < fault.rate:
+                    self.stats.messages_lost += 1
+                    self._record(
+                        "loss",
+                        f"{message.msg_type} p{message.sender}->p{message.destination}",
+                    )
+                    return UnicastDecision(drop_cause=CAUSE_LOSS)
+        duplicates = 0
+        if self._dup_rng is not None:
+            for fault in self._duplication:
+                if not fault.applies_to(message.msg_type):
+                    continue
+                if fault.rate > 0.0 and self._dup_rng.random() < fault.rate:
+                    duplicates += fault.copies
+            if duplicates:
+                self.stats.duplicates_injected += duplicates
+                self._record(
+                    "duplicate",
+                    f"{message.msg_type} p{message.sender}->p{message.destination} "
+                    f"x{duplicates}",
+                )
+        if duplicates:
+            return UnicastDecision(duplicates=duplicates)
+        return PASS
+
+    def stack_extra_delay(self, message: "Message", now_ms: float) -> float:
+        """Extra protocol-stack latency for one message (reordering spikes)."""
+        return self._spike_delay(self._stack_spikes, message, "stack-delay")
+
+    def medium_extra_delay(self, message: "Message", now_ms: float) -> float:
+        """Extra shared-medium occupancy for one frame (congestion spikes)."""
+        return self._spike_delay(self._medium_spikes, message, "medium-delay")
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _spike_delay(self, spikes, message: "Message", kind: str) -> float:
+        if self._delay_rng is None or not spikes:
+            return 0.0
+        extra = 0.0
+        for fault in spikes:
+            if fault.rate > 0.0 and self._delay_rng.random() < fault.rate:
+                extra += float(
+                    self._delay_rng.uniform(fault.extra_low_ms, fault.extra_high_ms)
+                )
+        if extra > 0.0:
+            self.stats.delay_spikes += 1
+            self._record(
+                kind,
+                f"{message.msg_type} p{message.sender}->p{message.destination} "
+                f"+{extra:.3f}ms",
+            )
+        return extra
+
+    def _do_crash(self, cluster: "Cluster", process_id: int) -> None:
+        self.stats.crashes += 1
+        self._record("crash", f"p{process_id}")
+        cluster.crash_process(process_id)
+
+    def _do_recover(self, cluster: "Cluster", process_id: int) -> None:
+        self.stats.recoveries += 1
+        self._record("recovery", f"p{process_id}")
+        cluster.recover_process(process_id)
+
+    def _record(self, kind: str, detail: str) -> None:
+        if self._trace:
+            self.events.append(FaultEvent(self.sim.now, kind, detail))
+
+    def __repr__(self) -> str:
+        return f"FaultInjector(load={self.load.label()!r}, stats={self.stats})"

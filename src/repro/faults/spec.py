@@ -1,0 +1,286 @@
+"""Composable fault-load specifications.
+
+The paper validates its SAN consensus models against measurements under
+*crash* fault-loads only (§2.4 classes 1-3).  This module widens the
+scenario space of the testbed simulator with the fault-load vocabulary of
+the dependability-benchmarking literature: message loss, message
+duplication, reordering delay-spikes, network partitions, crash-recovery
+and CPU load bursts.  A :class:`FaultLoad` is an immutable, picklable
+composition of individual fault specs; the runtime injection is done by
+:class:`~repro.faults.injector.FaultInjector`, which the cluster threads
+through its transport, Ethernet hub and hosts.
+
+All specs are frozen dataclasses so that fault loads can be embedded in
+experiment configurations, hashed into sweep-cache keys and shipped to
+worker processes unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence, Tuple, Union
+
+
+def validate_partition_groups(groups: Sequence[Sequence[int]]) -> None:
+    """Raise if any host appears in more than one partition group."""
+    seen: set[int] = set()
+    for group in groups:
+        for host in group:
+            if host in seen:
+                raise ValueError(f"host {host} appears in more than one group")
+            seen.add(host)
+
+
+def partition_group_index(groups: Sequence[Sequence[int]], host: int) -> int:
+    """Index of ``host``'s group, or ``-1`` for the implicit group.
+
+    Hosts named in no group share one implicit group of their own.  This is
+    the single definition of partition membership, used both by the testbed
+    injector (:class:`NetworkPartition`) and by the SAN model
+    (:meth:`repro.sanmodels.parameters.SANParameters.connected`), keeping
+    the two sides' connectivity semantics identical by construction.
+    """
+    for index, group in enumerate(groups):
+        if host in group:
+            return index
+    return -1
+
+
+@dataclass(frozen=True)
+class MessageLoss:
+    """Drop each unicast message copy with probability ``rate``.
+
+    Attributes
+    ----------
+    rate:
+        Per-copy drop probability at the wire stage (a broadcast expanded
+        into ``n - 1`` unicast copies draws once per copy, matching the
+        transport's per-copy pipeline).
+    msg_types:
+        Restrict the loss to these message types (``None`` = all types).
+    """
+
+    rate: float
+    msg_types: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"loss rate must be in [0, 1], got {self.rate}")
+
+    def applies_to(self, msg_type: str) -> bool:
+        """``True`` if this fault may drop messages of ``msg_type``."""
+        return self.msg_types is None or msg_type in self.msg_types
+
+
+@dataclass(frozen=True)
+class MessageDuplication:
+    """Inject ``copies`` extra deliveries of a message with probability ``rate``."""
+
+    rate: float
+    copies: int = 1
+    msg_types: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"duplication rate must be in [0, 1], got {self.rate}")
+        if self.copies < 1:
+            raise ValueError(f"copies must be >= 1, got {self.copies}")
+
+    def applies_to(self, msg_type: str) -> bool:
+        """``True`` if this fault may duplicate messages of ``msg_type``."""
+        return self.msg_types is None or msg_type in self.msg_types
+
+
+@dataclass(frozen=True)
+class DelaySpike:
+    """Add a uniform extra delay to a message with probability ``rate``.
+
+    ``where="stack"`` delays the message in the receiving protocol stack,
+    *after* it left the shared medium -- delayed messages can be overtaken
+    by later ones, i.e. this produces genuine reordering.  ``where="medium"``
+    lengthens the frame's occupancy of the shared Ethernet medium instead,
+    delaying everything queued behind it (congestion bursts).
+    """
+
+    rate: float
+    extra_low_ms: float = 0.5
+    extra_high_ms: float = 5.0
+    where: str = "stack"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"delay-spike rate must be in [0, 1], got {self.rate}")
+        if self.extra_low_ms < 0 or self.extra_high_ms < self.extra_low_ms:
+            raise ValueError(
+                "delay-spike bounds must satisfy 0 <= extra_low_ms <= extra_high_ms"
+            )
+        if self.where not in ("stack", "medium"):
+            raise ValueError(f"where must be 'stack' or 'medium', got {self.where!r}")
+
+
+@dataclass(frozen=True)
+class NetworkPartition:
+    """Split the hosts into isolated groups during a time window.
+
+    Attributes
+    ----------
+    groups:
+        Host-id groups; two hosts can communicate during the window only if
+        they are in the same group.  Hosts named in no group form one
+        implicit group of their own.
+    start_ms / end_ms:
+        Window of global simulation time during which the partition holds
+        (``end_ms=inf`` = the partition never heals).
+    """
+
+    groups: Tuple[Tuple[int, ...], ...]
+    start_ms: float = 0.0
+    end_ms: float = math.inf
+
+    def __post_init__(self) -> None:
+        if not self.groups:
+            raise ValueError("a NetworkPartition needs at least one group")
+        validate_partition_groups(self.groups)
+        if self.end_ms < self.start_ms:
+            raise ValueError("end_ms must be >= start_ms")
+
+    def active(self, now_ms: float) -> bool:
+        """``True`` if the partition is in force at ``now_ms``."""
+        return self.start_ms <= now_ms < self.end_ms
+
+    def separates(self, a: int, b: int) -> bool:
+        """``True`` if hosts ``a`` and ``b`` are in different groups."""
+        return partition_group_index(self.groups, a) != partition_group_index(
+            self.groups, b
+        )
+
+
+@dataclass(frozen=True)
+class CrashRecovery:
+    """Crash a process at ``crash_at_ms``; optionally recover it later.
+
+    On recovery the host accepts messages again and the process restarts
+    its protocol layers (re-arming heartbeat timers etc.), so traffic
+    addressed to it is delivered again -- the transport only ever drops
+    copies that reach a *currently* crashed host.
+    """
+
+    process_id: int
+    crash_at_ms: float
+    recover_at_ms: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.process_id < 0:
+            raise ValueError("process_id must be >= 0")
+        if self.crash_at_ms < 0:
+            raise ValueError("crash_at_ms must be >= 0")
+        if self.recover_at_ms is not None and self.recover_at_ms <= self.crash_at_ms:
+            raise ValueError("recover_at_ms must be > crash_at_ms")
+
+
+@dataclass(frozen=True)
+class CpuLoadBurst:
+    """Multiply CPU occupancy on some hosts during a time window.
+
+    Models a co-located background load burst: every message send/receive
+    processed by an affected host takes ``slowdown`` times longer while the
+    burst is active (the paper's cluster was unloaded; §5.4 speculates on
+    scheduler interference, which this fault makes explorable).
+    """
+
+    start_ms: float
+    end_ms: float
+    slowdown: float = 2.0
+    hosts: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.end_ms <= self.start_ms:
+            raise ValueError("end_ms must be > start_ms")
+        if self.slowdown < 1.0:
+            raise ValueError(f"slowdown must be >= 1, got {self.slowdown}")
+
+    def active(self, now_ms: float, host: int) -> bool:
+        """``True`` if the burst slows ``host`` down at ``now_ms``."""
+        if not self.start_ms <= now_ms < self.end_ms:
+            return False
+        return self.hosts is None or host in self.hosts
+
+
+#: Any single fault specification.
+FaultSpec = Union[
+    MessageLoss,
+    MessageDuplication,
+    DelaySpike,
+    NetworkPartition,
+    CrashRecovery,
+    CpuLoadBurst,
+]
+
+
+@dataclass(frozen=True)
+class FaultLoad:
+    """An immutable composition of fault specs applied to one run."""
+
+    faults: Tuple[FaultSpec, ...] = ()
+    name: str = field(default="")
+
+    @staticmethod
+    def of(*faults: FaultSpec, name: str = "") -> "FaultLoad":
+        """Build a load from individual specs."""
+        return FaultLoad(faults=tuple(faults), name=name)
+
+    @staticmethod
+    def none(name: str = "fault-free") -> "FaultLoad":
+        """The empty fault load."""
+        return FaultLoad(faults=(), name=name)
+
+    # ------------------------------------------------------------------
+    def with_fault(self, fault: FaultSpec) -> "FaultLoad":
+        """A copy of this load with one more fault spec."""
+        return FaultLoad(faults=self.faults + (fault,), name=self.name)
+
+    def select(self, kind: type) -> Tuple[FaultSpec, ...]:
+        """All specs of the given type, in declaration order."""
+        return tuple(fault for fault in self.faults if isinstance(fault, kind))
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    def __iter__(self) -> Iterable[FaultSpec]:
+        return iter(self.faults)
+
+    # ------------------------------------------------------------------
+    # SAN-side mapping (apples-to-apples model parameters)
+    # ------------------------------------------------------------------
+    def total_loss_rate(self) -> float:
+        """Combined per-copy loss probability of the untyped loss specs.
+
+        Independent loss faults compose as ``1 - prod(1 - rate_i)``; typed
+        specs are excluded because the SAN model has no per-type loss.
+        """
+        survive = 1.0
+        for fault in self.select(MessageLoss):
+            if fault.msg_types is None:
+                survive *= 1.0 - fault.rate
+        return 1.0 - survive
+
+    def static_partition_groups(self) -> Tuple[Tuple[int, ...], ...]:
+        """Partition groups of a whole-run partition (for the SAN model).
+
+        Only a partition active from t=0 and never healing maps cleanly
+        onto the SAN model's static connectivity; windowed partitions
+        return ``()`` (no SAN analogue).
+        """
+        for fault in self.select(NetworkPartition):
+            if fault.start_ms <= 0.0 and math.isinf(fault.end_ms):
+                return fault.groups
+        return ()
+
+    def label(self) -> str:
+        """A short human-readable label for tables and logs."""
+        if self.name:
+            return self.name
+        if not self.faults:
+            return "fault-free"
+        return "+".join(type(fault).__name__ for fault in self.faults)

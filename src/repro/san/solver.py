@@ -11,8 +11,9 @@ precision target is met.
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.des.simulator import Simulator
 from repro.san.executor import SANExecutor
@@ -39,10 +40,31 @@ class ReplicationResult:
 
 @dataclass
 class SolverResult:
-    """Aggregate result of a simulative solution."""
+    """Aggregate result of a simulative solution.
+
+    Attributes
+    ----------
+    replications:
+        Per-replication reward observations, in replication order.
+    confidence:
+        Confidence level of the reported intervals.
+    target_reward:
+        The reward the relative-precision loop targeted, if one ran.
+    precision_achieved:
+        ``True``/``False`` once a precision loop ran (``None`` for plain
+        fixed-count solutions).  ``False`` means the loop gave up: either
+        ``max_replications`` was reached or the target reward's mean was
+        (still) zero, making *relative* precision undefined -- see
+        :attr:`precision_note`.
+    precision_note:
+        Human-readable reason when ``precision_achieved`` is ``False``.
+    """
 
     replications: List[ReplicationResult] = field(default_factory=list)
     confidence: float = 0.90
+    target_reward: Optional[str] = None
+    precision_achieved: Optional[bool] = None
+    precision_note: Optional[str] = None
 
     def values(self, reward_name: str) -> List[float]:
         """All finite values of the named reward across replications."""
@@ -52,6 +74,23 @@ class SolverResult:
             if reward_name in rep.rewards and not math.isnan(rep.rewards[reward_name])
         ]
         return values
+
+    def sample_size(self, reward_name: str) -> int:
+        """Number of NaN-filtered observations backing the named reward.
+
+        This is the ``n`` the means and intervals are computed from; it can
+        be smaller than :attr:`n` when some replications never produced the
+        reward (e.g. undecided consensus executions).
+        """
+        return len(self.values(reward_name))
+
+    def nan_count(self, reward_name: str) -> int:
+        """Number of replications whose named reward was NaN (filtered out)."""
+        return sum(
+            1
+            for rep in self.replications
+            if reward_name in rep.rewards and math.isnan(rep.rewards[reward_name])
+        )
 
     def mean(self, reward_name: str) -> float:
         """Mean of the named reward."""
@@ -120,7 +159,10 @@ class SimulativeSolver:
     # ------------------------------------------------------------------
     def run_replication(self, index: int) -> ReplicationResult:
         """Run a single replication with its own derived seed."""
-        sim = Simulator(seed=self._replication_seed(index))
+        return self._run_with_seed(index, self._replication_seed(index))
+
+    def _run_with_seed(self, index: int, seed: int) -> ReplicationResult:
+        sim = Simulator(seed=seed)
         model = self.model_factory()
         rewards = list(self.reward_factory())
         initial = (
@@ -144,6 +186,8 @@ class SimulativeSolver:
         relative_precision: Optional[float] = None,
         min_replications: int = 20,
         max_replications: int = 10_000,
+        jobs: Optional[int] = 1,
+        precision_batch: int = 10,
     ) -> SolverResult:
         """Run replications and aggregate the rewards.
 
@@ -155,29 +199,150 @@ class SimulativeSolver:
             If both are given, keep running (between ``min_replications`` and
             ``max_replications``) until the confidence-interval half-width of
             ``target_reward`` is below ``relative_precision`` times its mean.
+            A target reward whose mean is zero (no finite, nonzero
+            observations) makes *relative* precision undefined; the loop
+            then stops with a warning and ``precision_achieved=False``
+            instead of silently running to ``max_replications``.
+        jobs:
+            Worker processes (``1`` = in-process serial, ``0``/``None`` =
+            one per CPU).  Replication ``i`` always runs with the same
+            derived seed and results are aggregated in replication order,
+            so any ``jobs`` value produces bit-identical results -- the
+            same determinism contract as the experiment sweep engine this
+            is built on (:mod:`repro.experiments.runner`).  ``jobs > 1``
+            requires the model/reward factories to be picklable
+            (module-level functions or methods of picklable objects).
+        precision_batch:
+            Replications per precision-loop chunk.  The stopping rule is
+            evaluated at chunk boundaries only, so the replication count is
+            a function of the seed and this value, never of ``jobs``.
         """
         result = SolverResult(confidence=self.confidence)
         if target_reward is None or relative_precision is None:
-            for index in range(replications):
-                result.replications.append(self.run_replication(index))
+            result.replications.extend(self._run_indices(range(replications), jobs))
             return result
 
-        index = 0
-        while index < max_replications:
-            result.replications.append(self.run_replication(index))
-            index += 1
-            if index < min_replications:
-                continue
-            values = result.values(target_reward)
-            if len(values) < 2:
-                continue
-            interval = confidence_interval(values, self.confidence)
-            if interval.mean == 0:
-                continue
-            if interval.half_width / abs(interval.mean) <= relative_precision:
-                break
+        if precision_batch < 1:
+            raise ValueError(f"precision_batch must be >= 1, got {precision_batch}")
+        result.target_reward = target_reward
+        result.precision_achieved = False
+        pool = self._make_pool(jobs)
+        try:
+            index = 0
+            while index < max_replications:
+                if index < min_replications:
+                    chunk = min_replications - index
+                else:
+                    chunk = precision_batch
+                chunk = min(chunk, max_replications - index)
+                result.replications.extend(
+                    self._run_indices(range(index, index + chunk), jobs, pool=pool)
+                )
+                index += chunk
+                if index < min_replications:
+                    continue
+                values = result.values(target_reward)
+                if len(values) < 2:
+                    continue
+                interval = confidence_interval(values, self.confidence)
+                if interval.mean == 0:
+                    # Relative precision is undefined for a zero mean; more
+                    # replications cannot fix that, so stop instead of
+                    # silently burning the whole max_replications budget.
+                    result.precision_note = (
+                        f"reward {target_reward!r} has zero mean after {index} "
+                        "replications; relative precision is undefined"
+                    )
+                    warnings.warn(result.precision_note, stacklevel=2)
+                    break
+                if interval.half_width / abs(interval.mean) <= relative_precision:
+                    result.precision_achieved = True
+                    break
+            else:
+                result.precision_note = (
+                    f"precision target not reached within {max_replications} "
+                    "replications"
+                )
+        finally:
+            if pool is not None:
+                pool.shutdown()
         return result
 
     # ------------------------------------------------------------------
+    def _make_pool(self, jobs: Optional[int]):
+        """One executor for a whole precision loop (``None`` when serial).
+
+        The loop executes many small chunks; paying a process-pool startup
+        per chunk would dwarf the replications themselves, so the pool is
+        created once here and lent to every :func:`iter_plan` call.
+        """
+        if jobs == 1:
+            return None
+        from concurrent.futures import ProcessPoolExecutor
+
+        from repro.experiments.runner import resolve_jobs
+
+        resolved = resolve_jobs(jobs)
+        if resolved == 1:
+            return None
+        return ProcessPoolExecutor(max_workers=resolved)
+
+    def _run_indices(
+        self, indices: Iterable[int], jobs: Optional[int], pool=None
+    ) -> List[ReplicationResult]:
+        """Run the given replication indices, serially or on a worker pool.
+
+        The parallel path rides on the experiment sweep engine
+        (:class:`~repro.experiments.runner.ReplicationPlan`), inheriting
+        its ordered streaming aggregation; the per-replication seeds are
+        identical to the serial path's, so ``jobs`` never changes results.
+        """
+        indices = list(indices)
+        if pool is None and (jobs == 1 or len(indices) <= 1):
+            return [self.run_replication(index) for index in indices]
+        # Imported lazily: repro.experiments pulls in modules that themselves
+        # import this one.
+        from repro.experiments.runner import ReplicationPlan, SweepPoint, iter_plan
+
+        points = tuple(
+            SweepPoint.make(
+                _replication_job,
+                kwargs={"solver": self, "index": index},
+                indices=(index,),
+                label=f"replication {index}",
+            )
+            for index in indices
+        )
+        plan = ReplicationPlan(
+            settings=_ReplicationSeeds(self.seed), points=points, name="san-solver"
+        )
+        return [
+            result for _point, result in iter_plan(plan, jobs=jobs, pool=pool)
+        ]
+
     def _replication_seed(self, index: int) -> int:
+        return _ReplicationSeeds(self.seed).point_seed(index)
+
+
+@dataclass(frozen=True)
+class _ReplicationSeeds:
+    """Seed derivation of :class:`SimulativeSolver` replications.
+
+    The single definition of the derivation, satisfying the sweep engine's
+    settings interface (``point_seed``); both the serial and the pooled
+    path use it, so a replication's seed is a pure function of
+    (master seed, replication index) whatever the ``jobs`` value.
+    """
+
+    seed: int
+
+    def point_seed(self, *indices: int) -> int:
+        (index,) = indices
         return (self.seed * 1_000_003 + index * 7_919 + 1) % (2**63)
+
+
+def _replication_job(
+    solver: SimulativeSolver, index: int, point_seed: int
+) -> ReplicationResult:
+    """Run one replication in a worker process (module-level, picklable)."""
+    return solver._run_with_seed(index, point_seed)

@@ -138,31 +138,47 @@ def build_consensus_model(
                 else:
                     add_failure_detector_pair(submodel, pid, peer, settings=fd_settings)
         # Outgoing message paths of this process (a crashed process never
-        # sends, so its outgoing paths are omitted).
+        # sends, so its outgoing paths are omitted).  A partitioned pair
+        # keeps its unicast path but with loss probability 1, so the
+        # process state machine can still enqueue send tokens; partitioned
+        # broadcast destinations are simply excluded from the fanout.
         if pid not in crashed_set:
             for peer in range(n_processes):
                 if peer == pid:
                     continue
+                pair_loss = (
+                    1.0 if not parameters.connected(pid, peer)
+                    else parameters.loss_rate
+                )
                 add_unicast_path(
                     submodel, "est", pid, peer, t_send, t_net_unicast, t_receive,
                     delivery_effect=_counter_effect(f"p{peer}.est_count"),
+                    loss_rate=pair_loss,
                 )
                 add_unicast_path(
                     submodel, "ack", pid, peer, t_send, t_net_unicast, t_receive,
                     delivery_effect=_counter_effect(f"p{peer}.ack_count"),
+                    loss_rate=pair_loss,
                 )
                 add_unicast_path(
                     submodel, "nack", pid, peer, t_send, t_net_unicast, t_receive,
                     delivery_effect=_counter_effect(f"p{peer}.nack_count"),
+                    loss_rate=pair_loss,
                 )
-            destinations = [peer for peer in range(n_processes) if peer != pid]
+            destinations = [
+                peer
+                for peer in range(n_processes)
+                if peer != pid and parameters.connected(pid, peer)
+            ]
             add_broadcast_path(
                 submodel, "prop", pid, destinations, t_send, t_net_broadcast, t_receive,
                 delivery_effect_for=lambda dst: _counter_effect(f"p{dst}.prop_pending"),
+                loss_rate=parameters.loss_rate,
             )
             add_broadcast_path(
                 submodel, "dec", pid, destinations, t_send, t_net_broadcast, t_receive,
                 delivery_effect_for=_decision_effect,
+                loss_rate=parameters.loss_rate,
             )
         submodels.append(submodel)
 
@@ -257,16 +273,19 @@ class ConsensusSANExperiment:
         relative_precision: Optional[float] = None,
         min_replications: int = 20,
         max_replications: int = 5_000,
+        jobs: Optional[int] = 1,
     ) -> SANLatencyResult:
         """Run the experiment and return latency statistics.
 
         With ``relative_precision`` set, replications continue until the
         confidence interval of the mean latency is that tight (relative to
-        the mean) or ``max_replications`` is reached.
+        the mean) or ``max_replications`` is reached.  ``jobs > 1`` fans
+        the replications out over worker processes with bit-identical
+        results (see :meth:`SimulativeSolver.solve`).
         """
         solver = self.solver()
         if relative_precision is None:
-            result = solver.solve(replications=replications)
+            result = solver.solve(replications=replications, jobs=jobs)
         else:
             result = solver.solve(
                 replications=replications,
@@ -274,6 +293,7 @@ class ConsensusSANExperiment:
                 relative_precision=relative_precision,
                 min_replications=min_replications,
                 max_replications=max_replications,
+                jobs=jobs,
             )
         latencies = result.values("latency")
         undecided = result.n - len(latencies)

@@ -80,6 +80,28 @@ def _not_crashed_gate(dst: int) -> InputGate:
     )
 
 
+def _transmit_cases(
+    base: str, success_arcs: Sequence[str], loss_rate: float
+) -> list[Case]:
+    """Cases of a transmit activity: delivery, plus a loss branch.
+
+    The loss case releases the network token but forwards the message token
+    nowhere -- the SAN-side mirror of the testbed transport dropping a copy
+    at the wire stage.  ``loss_rate=1`` models a partitioned pair.
+    """
+    success = Case.build(
+        probability=1.0 - loss_rate, output_arcs=list(success_arcs)
+    )
+    if loss_rate <= 0.0:
+        return [success]
+    return [
+        success,
+        Case.build(
+            probability=loss_rate, output_arcs=[NETWORK_PLACE], label=f"{base}.lost"
+        ),
+    ]
+
+
 def add_unicast_path(
     model: SANModel,
     msg_type: str,
@@ -89,12 +111,15 @@ def add_unicast_path(
     t_net: Distribution,
     t_receive: Distribution,
     delivery_effect: DeliveryEffect,
+    loss_rate: float = 0.0,
 ) -> None:
     """Add the three-stage unicast transmission path for one (type, src, dst).
 
     ``delivery_effect`` is applied to the marking when the message finally
     reaches the destination process (step 7 of Fig. 3) -- e.g. incrementing
-    the coordinator's estimate counter.
+    the coordinator's estimate counter.  ``loss_rate`` adds a probabilistic
+    loss branch to the network stage (fault-load scenarios; ``1.0`` models
+    a partitioned pair whose messages never arrive).
     """
     base = f"msg.{msg_type}.{src}.{dst}"
     stages = ["sendq", "sending", "netq", "neting", "recvq", "recving"]
@@ -133,7 +158,9 @@ def add_unicast_path(
             name=f"{base}.transmit",
             distribution=t_net,
             input_arcs=[f"{base}.neting"],
-            cases=[Case.build(output_arcs=[f"{base}.recvq", NETWORK_PLACE])],
+            cases=_transmit_cases(
+                base, [f"{base}.recvq", NETWORK_PLACE], loss_rate
+            ),
         )
     )
 
@@ -173,12 +200,16 @@ def add_broadcast_path(
     t_net_broadcast: Distribution,
     t_receive: Distribution,
     delivery_effect_for: Callable[[int], DeliveryEffect],
+    loss_rate: float = 0.0,
 ) -> None:
     """Add the broadcast transmission path for one (type, src).
 
     The sender-CPU and network stages are traversed once (the SAN model's
     single-broadcast-message simplification, §5.1); the receive stage is
     replicated per destination, each applying its own delivery effect.
+    ``loss_rate`` loses the whole broadcast frame (all destinations at
+    once) -- consistent with the single-message simplification; callers
+    model partitions by excluding unreachable peers from ``destinations``.
     """
     base = f"msg.{msg_type}.{src}"
     for stage in ["sendq", "sending", "netq", "neting"]:
@@ -217,7 +248,7 @@ def add_broadcast_path(
             name=f"{base}.transmit",
             distribution=t_net_broadcast,
             input_arcs=[f"{base}.neting"],
-            cases=[Case.build(output_arcs=fanout)],
+            cases=_transmit_cases(base, fanout, loss_rate),
         )
     )
     for dst in destinations:

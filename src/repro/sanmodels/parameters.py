@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence
 
+from repro.faults.spec import partition_group_index, validate_partition_groups
 from repro.stats.distributions import (
     BimodalUniform,
     Constant,
@@ -100,6 +101,18 @@ class SANParameters:
     broadcast_growth:
         Per-extra-destination growth factor of the broadcast delay used when
         no explicit broadcast fit is available.
+    loss_rate:
+        Probability that a message is lost on the network (per unicast
+        message; a broadcast loses its single SAN-side message, i.e. the
+        whole frame).  Mirrors the testbed's
+        :class:`~repro.faults.spec.MessageLoss` fault so that
+        model-vs-measurement comparisons under fault loads stay
+        apples-to-apples.
+    partition:
+        Static host-partition groups (as in
+        :class:`~repro.faults.spec.NetworkPartition` with a whole-run
+        window): messages between different groups are never delivered.
+        Hosts named in no group form one implicit group.
     """
 
     t_send_ms: float = 0.025
@@ -107,15 +120,46 @@ class SANParameters:
     unicast_fit: BimodalFit = field(default_factory=BimodalFit)
     broadcast_fits: tuple[tuple[int, BimodalFit], ...] = ()
     broadcast_growth: float = 0.30
+    loss_rate: float = 0.0
+    partition: tuple[tuple[int, ...], ...] = ()
 
     def __post_init__(self) -> None:
         if self.t_send_ms < 0 or self.t_receive_ms < 0:
             raise ValueError("t_send_ms and t_receive_ms must be >= 0")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {self.loss_rate}")
+        validate_partition_groups(self.partition)
 
     # ------------------------------------------------------------------
     def with_t_send(self, t_send_ms: float) -> "SANParameters":
         """A copy with ``t_send = t_receive = t_send_ms`` (the calibration knob)."""
         return replace(self, t_send_ms=t_send_ms, t_receive_ms=t_send_ms)
+
+    def with_faults(
+        self,
+        loss_rate: Optional[float] = None,
+        partition: Optional[Sequence[Sequence[int]]] = None,
+    ) -> "SANParameters":
+        """A copy with fault-load knobs replaced (``None`` keeps the current)."""
+        changes: dict = {}
+        if loss_rate is not None:
+            changes["loss_rate"] = loss_rate
+        if partition is not None:
+            changes["partition"] = tuple(tuple(group) for group in partition)
+        return replace(self, **changes) if changes else self
+
+    def connected(self, a: int, b: int) -> bool:
+        """``True`` if processes ``a`` and ``b`` can exchange messages.
+
+        Shares the membership rule of the testbed's
+        :class:`~repro.faults.spec.NetworkPartition`, so the SAN model and
+        the injector agree on connectivity by construction.
+        """
+        if not self.partition:
+            return True
+        return partition_group_index(self.partition, a) == partition_group_index(
+            self.partition, b
+        )
 
     # ------------------------------------------------------------------
     def t_send_distribution(self) -> Distribution:

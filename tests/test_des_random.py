@@ -65,3 +65,40 @@ def test_stable_hash_is_deterministic_and_distinct():
 
 def test_streams_produce_numpy_generators():
     assert isinstance(RandomStreams(0).stream("x"), np.random.Generator)
+
+
+def test_spawn_does_not_collide_across_masters():
+    # Regression: the old additive derivation (master + hash(name)) made
+    # children of *different* masters collide whenever the seed difference
+    # equalled the hash difference.  SeedSequence spawn keys cannot.
+    delta = _stable_hash("replica-2") - _stable_hash("replica-1")
+    a = abs(delta) + 1_000  # keep both constructed seeds non-negative
+    b = a + delta
+    colliding_old = (a + _stable_hash("replica-2")) % (2**63) == (
+        b + _stable_hash("replica-1")
+    ) % (2**63)
+    assert colliding_old  # the constructed pair did collide under the old scheme
+    one = RandomStreams(a).spawn("replica-2").stream("s")
+    two = RandomStreams(b).spawn("replica-1").stream("s")
+    assert [float(one.random()) for _ in range(4)] != [
+        float(two.random()) for _ in range(4)
+    ]
+
+
+def test_spawn_preserves_non_integer_entropy():
+    # Regression: non-int entropy used to be discarded (base = 0), making
+    # every OS-seeded parent produce the same children.
+    parent_a = RandomStreams(None)
+    parent_b = RandomStreams(None)
+    a = parent_a.spawn("replica-1").stream("s")
+    b = parent_b.spawn("replica-1").stream("s")
+    assert float(a.random()) != float(b.random())
+
+
+def test_spawned_streams_are_disjoint_from_parent_streams():
+    parent = RandomStreams(21)
+    direct = parent.stream("x")
+    nested = parent.spawn("x").stream("x")
+    assert [float(direct.random()) for _ in range(4)] != [
+        float(nested.random()) for _ in range(4)
+    ]

@@ -1,0 +1,137 @@
+"""Tests of the parallel SimulativeSolver and its precision-loop fixes."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.san.activities import Case, TimedActivity
+from repro.san.model import SANModel
+from repro.san.places import Place
+from repro.san.rewards import FirstPassageTime, IntervalOfTime
+from repro.san.solver import SimulativeSolver
+from repro.sanmodels.consensus_model import ConsensusSANExperiment
+from repro.stats.distributions import Uniform
+
+
+# Module-level factories so that jobs>1 can pickle the solver.
+def _latency_model() -> SANModel:
+    model = SANModel("latency")
+    model.add_place(Place("start", 1))
+    model.add_place(Place("end", 0))
+    model.add_activity(
+        TimedActivity(
+            "work",
+            Uniform(1.0, 3.0),
+            input_arcs=["start"],
+            cases=[Case.build(output_arcs=["end"])],
+        )
+    )
+    return model
+
+
+def _latency_rewards():
+    return [FirstPassageTime(lambda m: m["end"] >= 1, name="latency")]
+
+
+def _done(marking) -> bool:
+    return marking["end"] >= 1
+
+
+def _far_rewards():
+    # Reached only if the horizon allows; NaN otherwise.
+    return [FirstPassageTime(lambda m: m["end"] >= 2, name="never")]
+
+
+def _zero_rewards():
+    # Identically zero: "end" never holds tokens before the stop predicate.
+    return [IntervalOfTime(lambda m: 0.0, name="zero")]
+
+
+def _solver(**kwargs) -> SimulativeSolver:
+    defaults = dict(
+        model_factory=_latency_model,
+        reward_factory=_latency_rewards,
+        stop_predicate=_done,
+        seed=17,
+    )
+    defaults.update(kwargs)
+    return SimulativeSolver(**defaults)
+
+
+# ----------------------------------------------------------------------
+# Parallel equivalence
+# ----------------------------------------------------------------------
+def test_parallel_solve_is_bit_identical_to_serial():
+    serial = _solver().solve(replications=24, jobs=1)
+    parallel = _solver().solve(replications=24, jobs=3)
+    assert serial.values("latency") == parallel.values("latency")
+    assert serial.mean("latency") == parallel.mean("latency")
+    assert [rep.replication for rep in parallel.replications] == list(range(24))
+
+
+def test_parallel_precision_loop_matches_serial():
+    kwargs = dict(
+        target_reward="latency",
+        relative_precision=0.15,
+        min_replications=8,
+        max_replications=200,
+        precision_batch=8,
+    )
+    serial = _solver().solve(jobs=1, **kwargs)
+    parallel = _solver().solve(jobs=2, **kwargs)
+    assert serial.n == parallel.n
+    assert serial.values("latency") == parallel.values("latency")
+    assert serial.precision_achieved is True
+    assert parallel.precision_achieved is True
+
+
+def test_parallel_consensus_experiment_matches_serial():
+    serial = ConsensusSANExperiment(n_processes=3, seed=7).run(replications=8, jobs=1)
+    parallel = ConsensusSANExperiment(n_processes=3, seed=7).run(replications=8, jobs=2)
+    assert serial.latencies_ms == parallel.latencies_ms
+    assert serial.mean_ms == parallel.mean_ms
+
+
+# ----------------------------------------------------------------------
+# Precision-loop termination (zero mean) and NaN accounting
+# ----------------------------------------------------------------------
+def test_zero_mean_target_stops_with_warning_instead_of_running_to_max():
+    solver = _solver(reward_factory=_zero_rewards)
+    with pytest.warns(UserWarning, match="zero mean"):
+        result = solver.solve(
+            target_reward="zero",
+            relative_precision=0.1,
+            min_replications=5,
+            max_replications=10_000,
+        )
+    assert result.n == 5  # stopped at the first check, not at max_replications
+    assert result.precision_achieved is False
+    assert result.target_reward == "zero"
+    assert "zero mean" in result.precision_note
+
+
+def test_unreached_precision_target_is_flagged():
+    result = _solver().solve(
+        target_reward="latency",
+        relative_precision=1e-9,
+        min_replications=4,
+        max_replications=12,
+        precision_batch=4,
+    )
+    assert result.n == 12
+    assert result.precision_achieved is False
+    assert "not reached" in result.precision_note
+
+
+def test_nan_filtered_sample_size_is_surfaced():
+    # The horizon cuts every replication short of the unreachable target.
+    solver = _solver(reward_factory=_far_rewards, max_time=10.0)
+    result = solver.solve(replications=6)
+    assert result.nan_count("never") == 6
+    assert result.sample_size("never") == 0
+    assert math.isnan(result.mean("never"))
+    ok = _solver().solve(replications=6)
+    assert ok.sample_size("latency") == 6
+    assert ok.nan_count("latency") == 0
