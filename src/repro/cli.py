@@ -10,6 +10,7 @@ Usage::
     python -m repro.cli figure8
     python -m repro.cli figure9
     python -m repro.cli faultsweep
+    python -m repro.cli solvercompare
     python -m repro.cli all
 
 ``--jobs N`` fans the independent points of each sweep out over N worker
@@ -41,6 +42,10 @@ from repro.experiments.figure7 import (
 from repro.experiments.figure8 import format_figure8, run_figure8
 from repro.experiments.figure9 import format_figure9, run_figure9
 from repro.experiments.settings import ExperimentSettings
+from repro.experiments.solver_compare import (
+    format_solver_compare,
+    run_solver_compare,
+)
 from repro.experiments.table1 import format_table1, run_table1
 
 #: A report generator: (settings, jobs, cache_dir) -> rendered text.
@@ -99,6 +104,9 @@ REPORTS: Dict[str, Report] = {
     ),
     "faultsweep": lambda settings, jobs, cache_dir: format_fault_sweep(
         run_fault_sweep(settings, jobs=jobs, cache_dir=cache_dir)
+    ),
+    "solvercompare": lambda settings, jobs, cache_dir: format_solver_compare(
+        run_solver_compare(settings, jobs=jobs, cache_dir=cache_dir)
     ),
 }
 

@@ -78,7 +78,10 @@ class SeedSettings(Protocol):
 
 #: Bump when the execution semantics change in a way that invalidates
 #: previously cached point results.
-CACHE_FORMAT_VERSION = 1
+# Bump whenever cached results become incomparable with freshly computed
+# ones -- e.g. version 2: the SAN executor's per-activity RNG streams
+# changed every fixed-seed simulative result.
+CACHE_FORMAT_VERSION = 2
 
 
 @dataclass(frozen=True)

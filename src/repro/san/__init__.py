@@ -21,6 +21,12 @@ This package is the repository's stand-in for UltraSAN / Möbius, the
   confidence-interval precision is reached (:mod:`repro.san.solver`)
   -- the paper had to use simulative solvers because of its
   non-exponential distributions (§5).
+* An **analytic solver** for the exponential corner of the model space:
+  reachability-graph state-space generation
+  (:mod:`repro.san.statespace`) and exact CTMC solution -- steady state,
+  transient via uniformization, first-passage times
+  (:mod:`repro.san.analytic`).  It is the exact oracle the simulative
+  solver is cross-validated against.
 
 The execution semantics follow the standard SAN definition: an activity is
 enabled when every input arc is satisfied and every input-gate predicate
@@ -34,12 +40,20 @@ and gates are applied.
 """
 
 from repro.san.activities import Activity, Case, InstantaneousActivity, TimedActivity
+from repro.san.analytic import AnalyticResult, AnalyticSolver, AnalyticSolverError
 from repro.san.composition import join, rename_model, replicate
 from repro.san.executor import SANExecutionError, SANExecutor
 from repro.san.gates import InputGate, OutputGate
-from repro.san.marking import Marking
+from repro.san.marking import FrozenMarking, Marking
 from repro.san.model import SANModel, SANValidationError
 from repro.san.places import Place
+from repro.san.statespace import (
+    NonMarkovianModelError,
+    StateSpace,
+    StateSpaceError,
+    Transition,
+    generate_state_space,
+)
 from repro.san.rewards import (
     ActivityCounter,
     FirstPassageTime,
@@ -52,13 +66,18 @@ from repro.san.solver import ReplicationResult, SimulativeSolver, SolverResult
 __all__ = [
     "Activity",
     "ActivityCounter",
+    "AnalyticResult",
+    "AnalyticSolver",
+    "AnalyticSolverError",
     "Case",
     "FirstPassageTime",
+    "FrozenMarking",
     "InputGate",
     "InstantOfTime",
     "InstantaneousActivity",
     "IntervalOfTime",
     "Marking",
+    "NonMarkovianModelError",
     "OutputGate",
     "Place",
     "ReplicationResult",
@@ -69,7 +88,11 @@ __all__ = [
     "SANValidationError",
     "SimulativeSolver",
     "SolverResult",
+    "StateSpace",
+    "StateSpaceError",
     "TimedActivity",
+    "Transition",
+    "generate_state_space",
     "join",
     "rename_model",
     "replicate",

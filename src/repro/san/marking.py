@@ -4,6 +4,12 @@ A :class:`Marking` maps place names to non-negative token counts.  Gate
 predicates and functions receive the marking and read or mutate it through
 the mapping interface.  The marking guards against negative token counts,
 the most common modeling bug.
+
+:class:`FrozenMarking` is the immutable, hashable counterpart used as the
+state key by the reachability-graph generator
+(:mod:`repro.san.statespace`): two markings that agree on every nonzero
+place freeze to the same key, so zero-padded and sparse representations of
+the same state coincide in the state space.
 """
 
 from __future__ import annotations
@@ -78,8 +84,16 @@ class Marking:
             }
         return NotImplemented
 
-    def __hash__(self) -> int:  # pragma: no cover - markings are mutable
-        raise TypeError("Marking objects are mutable and unhashable")
+    # Markings are mutable, so they must not be hashable: the standard
+    # idiom (setting ``__hash__`` to ``None``) makes ``hash()`` raise
+    # ``TypeError`` and makes ``isinstance(m, collections.abc.Hashable)``
+    # correctly report ``False``.  Use :meth:`freeze` to obtain a hashable
+    # state key.
+    __hash__ = None  # type: ignore[assignment]
+
+    def freeze(self) -> "FrozenMarking":
+        """An immutable, hashable snapshot of this marking."""
+        return FrozenMarking(self._tokens)
 
     # ------------------------------------------------------------------
     def add(self, place: PlaceRef, count: int = 1) -> None:
@@ -116,3 +130,91 @@ class Marking:
     def __repr__(self) -> str:
         nonzero = {k: v for k, v in sorted(self._tokens.items()) if v}
         return f"Marking({nonzero})"
+
+
+class FrozenMarking:
+    """An immutable, hashable marking: the state key of the state space.
+
+    Only nonzero token counts are stored (in sorted place order), so two
+    markings that differ only in explicit zeros freeze to equal keys with
+    equal hashes.  The read-only part of the :class:`Marking` interface is
+    supported (``[]``, ``in``, iteration, ``has``, ``as_dict``,
+    ``total_tokens``), which lets gate predicates and reward rate functions
+    that only *read* the marking be evaluated directly on a frozen state.
+    """
+
+    __slots__ = ("_items", "_hash")
+
+    def __init__(self, tokens: Mapping[str, int] | None = None) -> None:
+        items = []
+        for name, count in (tokens or {}).items():
+            count = int(count)
+            if count < 0:
+                raise ValueError(
+                    f"marking of place {name!r} cannot be negative ({count})"
+                )
+            if count:
+                items.append((str(name), count))
+        self._items: tuple[tuple[str, int], ...] = tuple(sorted(items))
+        self._hash = hash(self._items)
+
+    # ------------------------------------------------------------------
+    def __getitem__(self, place: PlaceRef) -> int:
+        name = _name(place)
+        for item_name, count in self._items:
+            if item_name == name:
+                return count
+        return 0
+
+    def __contains__(self, place: PlaceRef) -> bool:
+        name = _name(place)
+        return any(item_name == name for item_name, _ in self._items)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(name for name, _ in self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, FrozenMarking):
+            return self._items == other._items
+        if isinstance(other, (Marking, Mapping)):
+            return self.as_dict() == (
+                other.as_dict(drop_zeros=True)
+                if isinstance(other, Marking)
+                else {k: v for k, v in other.items() if v}
+            )
+        return NotImplemented
+
+    # ------------------------------------------------------------------
+    def has(self, place: PlaceRef, count: int = 1) -> bool:
+        """``True`` if ``place`` holds at least ``count`` tokens."""
+        return self[place] >= count
+
+    def as_dict(self) -> Dict[str, int]:
+        """The nonzero token counts as a plain dictionary."""
+        return dict(self._items)
+
+    def items(self) -> Iterable[tuple[str, int]]:
+        """The nonzero ``(place, count)`` pairs in sorted place order."""
+        return self._items
+
+    def total_tokens(self) -> int:
+        """Total number of tokens across all places."""
+        return sum(count for _, count in self._items)
+
+    def thaw(self) -> Marking:
+        """A fresh mutable :class:`Marking` with the same token counts."""
+        return Marking(dict(self._items))
+
+    @staticmethod
+    def from_marking(marking: Marking) -> "FrozenMarking":
+        """Freeze a mutable marking (equivalent to :meth:`Marking.freeze`)."""
+        return marking.freeze()
+
+    def __repr__(self) -> str:
+        return f"FrozenMarking({dict(self._items)})"

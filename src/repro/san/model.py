@@ -68,6 +68,24 @@ class SANModel:
             return self._places[name]
         return self.add_place(Place(name, initial))
 
+    def set_initial(self, name: str, initial: int) -> Place:
+        """Replace the initial marking of an already-declared place.
+
+        Model-building helpers declare their places with empty initial
+        markings; callers that want tokens there at time zero (e.g. a
+        burst of messages pre-loaded into a send queue) rebind the place
+        rather than fighting the duplicate-place check in
+        :meth:`add_place`.
+        """
+        if name not in self._places:
+            raise SANValidationError(
+                f"model {self.name!r}: cannot set initial marking of "
+                f"undeclared place {name!r}"
+            )
+        place = Place(name, initial)
+        self._places[name] = place
+        return place
+
     def add_activity(self, activity: Activity) -> Activity:
         """Add an activity; names must be unique within the model."""
         if activity.name in self._activities:

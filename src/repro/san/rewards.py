@@ -62,6 +62,11 @@ class FirstPassageTime(RewardVariable):
         self._hit_time: Optional[float] = None
 
     @property
+    def predicate(self) -> MarkingPredicate:
+        """The watched predicate (read by the analytic solver)."""
+        return self._predicate
+
+    @property
     def reached(self) -> bool:
         """``True`` if the predicate became true during the replication."""
         return self._hit_time is not None
@@ -97,6 +102,11 @@ class InstantOfTime(RewardVariable):
         self._function = function
         self._value: Optional[float] = None
         self._last_marking: Optional[Marking] = None
+
+    @property
+    def function(self) -> MarkingRate:
+        """The marking function (read by the analytic solver)."""
+        return self._function
 
     def reset(self, marking: Marking, time: float) -> None:
         self._value = None
@@ -141,6 +151,16 @@ class IntervalOfTime(RewardVariable):
         self._last_time = 0.0
         self._last_rate = 0.0
 
+    @property
+    def rate(self) -> MarkingRate:
+        """The integrated rate function (read by the analytic solver)."""
+        return self._rate
+
+    @property
+    def normalize(self) -> bool:
+        """``True`` if the integral is divided by the elapsed time."""
+        return self._normalize
+
     def reset(self, marking: Marking, time: float) -> None:
         self._accumulated = 0.0
         self._start = time
@@ -172,6 +192,11 @@ class ActivityCounter(RewardVariable):
         self.name = name
         self._activity_names = set(activity_names) if activity_names else None
         self._count = 0
+
+    @property
+    def activity_names(self) -> Optional[frozenset[str]]:
+        """The counted activities (``None`` = all; read by the analytic solver)."""
+        return frozenset(self._activity_names) if self._activity_names else None
 
     def reset(self, marking: Marking, time: float) -> None:
         self._count = 0

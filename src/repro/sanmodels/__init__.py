@@ -19,8 +19,16 @@ composed Stochastic Activity Network (§3):
 from repro.sanmodels.consensus_model import (
     ConsensusSANExperiment,
     build_consensus_model,
+    build_consensus_model_from_distributions,
     consensus_stop_predicate,
     latency_reward,
+)
+from repro.sanmodels.exponential import (
+    exponential_consensus_model,
+    exponential_fd_pair_model,
+    exponential_stage_distributions,
+    exponential_unicast_burst_model,
+    exponentialized,
 )
 from repro.sanmodels.fd_model import FDModelSettings, add_failure_detector_pair
 from repro.sanmodels.network_model import add_broadcast_path, add_unicast_path
@@ -36,6 +44,12 @@ __all__ = [
     "add_process_state_machine",
     "add_unicast_path",
     "build_consensus_model",
+    "build_consensus_model_from_distributions",
     "consensus_stop_predicate",
+    "exponential_consensus_model",
+    "exponential_fd_pair_model",
+    "exponential_stage_distributions",
+    "exponential_unicast_burst_model",
+    "exponentialized",
     "latency_reward",
 ]

@@ -44,6 +44,7 @@ from repro.sanmodels.process_model import (
 )
 from repro.stats.cdf import EmpiricalCDF
 from repro.stats.descriptive import ConfidenceInterval, confidence_interval
+from repro.stats.distributions import Distribution
 
 
 def consensus_stop_predicate(marking: Marking) -> bool:
@@ -96,6 +97,40 @@ def build_consensus_model(
         QoS-derived failure-detector settings for class-3 scenarios;
         ``None`` yields accurate detectors (no wrong suspicions).
     """
+    parameters = parameters or SANParameters()
+    return build_consensus_model_from_distributions(
+        n_processes,
+        t_send=parameters.t_send_distribution(),
+        t_receive=parameters.t_receive_distribution(),
+        t_net_unicast=parameters.t_net_unicast_distribution(),
+        t_net_broadcast=parameters.t_net_broadcast_distribution(n_processes),
+        parameters=parameters,
+        crashed=crashed,
+        fd_settings=fd_settings,
+    )
+
+
+def build_consensus_model_from_distributions(
+    n_processes: int,
+    t_send: Distribution,
+    t_receive: Distribution,
+    t_net_unicast: Distribution,
+    t_net_broadcast: Distribution,
+    parameters: Optional[SANParameters] = None,
+    crashed: Sequence[int] = (),
+    fd_settings: Optional[FDModelSettings] = None,
+    name_suffix: str = "",
+) -> SANModel:
+    """Build the consensus model with explicit stage distributions.
+
+    This is the distribution-agnostic core of :func:`build_consensus_model`:
+    the caller supplies the four stage distributions directly, which is how
+    the exponential (Markovian) validation variants of
+    :mod:`repro.sanmodels.exponential` reuse the exact same structure --
+    same places, activities, gates and topology -- with analytically
+    tractable timing.  ``parameters`` still supplies the loss/partition
+    topology (``loss_rate``, ``connected``).
+    """
     if n_processes < 1:
         raise ValueError(f"n_processes must be >= 1, got {n_processes}")
     parameters = parameters or SANParameters()
@@ -105,11 +140,6 @@ def build_consensus_model(
             "the ◇S algorithm requires a majority of correct processes; "
             f"{len(crashed_set)} of {n_processes} crashed"
         )
-
-    t_send = parameters.t_send_distribution()
-    t_receive = parameters.t_receive_distribution()
-    t_net_unicast = parameters.t_net_unicast_distribution()
-    t_net_broadcast = parameters.t_net_broadcast_distribution(n_processes)
 
     submodels: list[SANModel] = []
 
@@ -183,7 +213,7 @@ def build_consensus_model(
         submodels.append(submodel)
 
     scenario = "crash" if crashed_set else ("qos-fd" if fd_settings else "no-failure")
-    return join(f"consensus-n{n_processes}-{scenario}", submodels)
+    return join(f"consensus-n{n_processes}-{scenario}{name_suffix}", submodels)
 
 
 @dataclass

@@ -1,0 +1,177 @@
+"""Exponential (Markovian) variants of the paper's SAN submodels.
+
+The paper's models use fitted non-exponential distributions (bi-modal
+uniform ``t_net``, constant ``t_send``), which forces simulative solution
+(§5).  The variants here keep the *exact same structure* -- places,
+activities, gates, topology -- but replace every stage distribution with
+an exponential of the **same mean**.  That puts the models in the
+Markovian corner of the model space, where the analytic solver
+(:mod:`repro.san.analytic`) produces exact answers, so:
+
+* small-model sweeps run orders of magnitude faster than replication, and
+* the test suite gains an exact oracle to cross-validate the simulative
+  solver against (same model, two solution methods).
+
+The exponential variants are *validation* models: their means match the
+calibrated parameters but their variances do not (an exponential has
+CV = 1, the fitted bi-modal uniform much less), so their latencies are not
+the paper's latencies -- they are the common ground on which the two
+solvers must agree.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.san.model import SANModel
+from repro.san.places import Place
+from repro.sanmodels.consensus_model import (
+    build_consensus_model_from_distributions,
+)
+from repro.sanmodels.fd_model import FDModelSettings, add_failure_detector_pair
+from repro.sanmodels.network_model import (
+    NETWORK_PLACE,
+    add_unicast_path,
+    cpu_place,
+    crashed_place,
+    unicast_send_queue,
+)
+from repro.sanmodels.parameters import SANParameters
+from repro.stats.distributions import Distribution, Exponential
+
+#: Place counting messages delivered end-to-end in the unicast burst model.
+DELIVERED_PLACE = "delivered"
+
+
+def exponentialized(distribution: Distribution) -> Exponential:
+    """An exponential distribution with the same mean as ``distribution``.
+
+    Raises ``ValueError`` for zero-mean distributions (an exponential needs
+    a strictly positive mean).
+    """
+    mean = float(distribution.mean())
+    if mean <= 0:
+        raise ValueError(
+            f"cannot exponentialize a distribution with mean {mean}"
+        )
+    return Exponential(mean)
+
+
+def exponential_stage_distributions(
+    parameters: SANParameters, n_processes: int
+) -> Tuple[Exponential, Exponential, Exponential, Exponential]:
+    """The four stage distributions, exponentialized with matching means.
+
+    Returns ``(t_send, t_receive, t_net_unicast, t_net_broadcast)``.
+    """
+    return (
+        exponentialized(parameters.t_send_distribution()),
+        exponentialized(parameters.t_receive_distribution()),
+        exponentialized(parameters.t_net_unicast_distribution()),
+        exponentialized(parameters.t_net_broadcast_distribution(n_processes)),
+    )
+
+
+def exponential_consensus_model(
+    n_processes: int,
+    parameters: Optional[SANParameters] = None,
+    crashed: Sequence[int] = (),
+    fd_settings: Optional[FDModelSettings] = None,
+) -> SANModel:
+    """The consensus model with every stage distribution exponentialized.
+
+    Structure (and loss/partition topology, via ``parameters``) is
+    identical to :func:`~repro.sanmodels.consensus_model.build_consensus_model`;
+    only the timing laws differ.  ``fd_settings`` must use exponential
+    sojourn times if given.
+    """
+    parameters = parameters or SANParameters()
+    if fd_settings is not None and fd_settings.kind != "exponential":
+        raise ValueError(
+            "exponential_consensus_model requires exponential FD sojourn "
+            f"times, got kind={fd_settings.kind!r}"
+        )
+    t_send, t_receive, t_net_unicast, t_net_broadcast = (
+        exponential_stage_distributions(parameters, n_processes)
+    )
+    return build_consensus_model_from_distributions(
+        n_processes,
+        t_send=t_send,
+        t_receive=t_receive,
+        t_net_unicast=t_net_unicast,
+        t_net_broadcast=t_net_broadcast,
+        parameters=parameters,
+        crashed=crashed,
+        fd_settings=fd_settings,
+        name_suffix="-exp",
+    )
+
+
+def exponential_fd_pair_model(settings: FDModelSettings) -> SANModel:
+    """A single failure-detector module with exponential sojourn times.
+
+    The two-state trust/suspect process of §3.4 (Fig. 5) in isolation: an
+    ergodic two-state CTMC whose stationary suspect probability is known in
+    closed form (``T_M / T_MR``), which makes it the sharpest possible
+    cross-validation model -- analytic solver vs simulative solver vs
+    closed form.
+    """
+    if settings.kind != "exponential":
+        raise ValueError(
+            f"exponential_fd_pair_model requires kind='exponential', "
+            f"got {settings.kind!r}"
+        )
+    model = SANModel("fd-pair-exp")
+    add_failure_detector_pair(model, monitor=0, monitored=1, settings=settings)
+    return model
+
+
+def exponential_unicast_burst_model(
+    messages: int = 3,
+    mean_send_ms: float = 0.025,
+    mean_net_ms: float = 0.0915,
+    mean_receive_ms: float = 0.025,
+    loss_rate: float = 0.0,
+) -> SANModel:
+    """A burst of unicast messages through the three-stage network model.
+
+    ``messages`` tokens start in the send queue of a single ``0 -> 1``
+    unicast path (§3.3 / Fig. 3) and contend for the sender CPU, the
+    shared network and the receiver CPU; the ``delivered`` place counts
+    completions.  The default ``mean_net_ms`` is the mean of the paper's
+    unicast ``t_net`` fit.  A first-passage reward on "all messages
+    delivered" exercises resource contention, probabilistic loss cases
+    (``loss_rate``) and the seize/hold/release idiom in a model small
+    enough to enumerate in milliseconds.
+
+    With ``loss_rate > 0`` lost messages never reach ``delivered``, so
+    full delivery is not guaranteed -- useful for exercising the solver's
+    handling of non-almost-sure first passages.
+    """
+    if messages < 1:
+        raise ValueError(f"messages must be >= 1, got {messages}")
+    model = SANModel("unicast-burst-exp")
+    model.add_place(Place(cpu_place(0), 1))
+    model.add_place(Place(cpu_place(1), 1))
+    model.add_place(Place(crashed_place(1), 0))
+    model.add_place(Place(NETWORK_PLACE, 1))
+    model.add_place(Place(DELIVERED_PLACE, 0))
+
+    def deliver(marking) -> None:
+        marking.add(DELIVERED_PLACE)
+
+    add_unicast_path(
+        model,
+        "burst",
+        src=0,
+        dst=1,
+        t_send=Exponential(mean_send_ms),
+        t_net=Exponential(mean_net_ms),
+        t_receive=Exponential(mean_receive_ms),
+        delivery_effect=deliver,
+        loss_rate=loss_rate,
+    )
+    # The send queue is created by add_unicast_path with no tokens; the
+    # burst is injected by replacing the place's initial marking.
+    model.set_initial(unicast_send_queue("burst", 0, 1), messages)
+    return model

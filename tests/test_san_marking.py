@@ -1,11 +1,13 @@
-"""Tests of SAN markings (token bookkeeping and the change journal)."""
+"""Tests of SAN markings (token bookkeeping, the change journal, freezing)."""
 
 from __future__ import annotations
+
+from collections.abc import Hashable
 
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.san.marking import Marking
+from repro.san.marking import FrozenMarking, Marking
 from repro.san.places import Place
 
 
@@ -58,6 +60,20 @@ def test_equality_ignores_zero_entries():
 def test_markings_are_unhashable():
     with pytest.raises(TypeError):
         hash(Marking())
+
+
+def test_markings_are_not_instances_of_hashable():
+    # ``__hash__ = None`` (not a raising method) is what makes the ABC
+    # machinery agree that markings are unhashable.
+    assert not isinstance(Marking(), Hashable)
+    assert Marking.__hash__ is None
+
+
+def test_markings_cannot_be_dict_keys_or_set_members():
+    with pytest.raises(TypeError):
+        {Marking(): 1}
+    with pytest.raises(TypeError):
+        {Marking({"a": 1})}
 
 
 def test_total_tokens_and_set_all():
@@ -117,3 +133,86 @@ def test_add_never_produces_negative_tokens_and_journal_tracks_touched_places(op
         touched.add(place)
     assert all(marking[p] >= 0 for p in ("a", "b", "c"))
     assert marking.consume_changes() == touched
+
+
+# ----------------------------------------------------------------------
+# FrozenMarking: the hashable state key of the state-space generator
+# ----------------------------------------------------------------------
+def test_frozen_markings_are_hashable_and_equal_by_value():
+    frozen = Marking({"a": 1, "b": 2}).freeze()
+    assert isinstance(frozen, Hashable)
+    assert hash(frozen) == hash(Marking({"b": 2, "a": 1}).freeze())
+    assert frozen == Marking({"a": 1, "b": 2}).freeze()
+    assert frozen == FrozenMarking({"a": 1, "b": 2})
+
+
+def test_frozen_markings_drop_explicit_zeros():
+    sparse = Marking({"a": 1}).freeze()
+    padded = Marking({"a": 1, "b": 0, "c": 0}).freeze()
+    assert sparse == padded
+    assert hash(sparse) == hash(padded)
+    assert len(padded) == 1
+    assert "b" not in padded
+
+
+def test_frozen_marking_reads_like_a_marking():
+    frozen = FrozenMarking({"a": 2, "b": 0})
+    assert frozen["a"] == 2
+    assert frozen["missing"] == 0
+    assert frozen[Place("a", 0)] == 2
+    assert frozen.has("a", 2) and not frozen.has("a", 3)
+    assert frozen.as_dict() == {"a": 2}
+    assert list(frozen) == ["a"]
+    assert frozen.total_tokens() == 2
+
+
+def test_frozen_marking_rejects_negative_counts():
+    with pytest.raises(ValueError):
+        FrozenMarking({"a": -1})
+
+
+def test_freeze_is_a_snapshot_not_a_view():
+    marking = Marking({"a": 1})
+    frozen = marking.freeze()
+    marking.add("a")
+    assert frozen["a"] == 1
+    assert marking["a"] == 2
+
+
+def test_thaw_round_trip_gives_independent_mutable_marking():
+    frozen = FrozenMarking({"a": 3})
+    thawed = frozen.thaw()
+    assert isinstance(thawed, Marking)
+    assert thawed == frozen
+    thawed.add("a")
+    assert frozen["a"] == 3
+
+
+def test_frozen_marking_equality_against_marking_and_mapping():
+    frozen = FrozenMarking({"a": 1})
+    assert frozen == Marking({"a": 1, "b": 0})
+    assert frozen == {"a": 1, "c": 0}
+    assert frozen != Marking({"a": 2})
+    assert FrozenMarking.from_marking(Marking({"a": 1})) == frozen
+
+
+def test_frozen_markings_work_as_dict_keys():
+    index = {Marking({"a": 1}).freeze(): 0}
+    assert index[Marking({"a": 1, "b": 0}).freeze()] == 0
+
+
+@given(
+    st.dictionaries(
+        st.text(min_size=1, max_size=5), st.integers(min_value=0, max_value=20), max_size=8
+    )
+)
+def test_freeze_thaw_round_trips_arbitrary_markings(tokens):
+    marking = Marking(tokens)
+    frozen = marking.freeze()
+    assert frozen == marking
+    assert frozen.thaw() == marking
+    assert frozen.total_tokens() == sum(tokens.values())
+    # Hash/equality agree with the zero-dropped canonical form.
+    canonical = FrozenMarking({k: v for k, v in tokens.items() if v})
+    assert frozen == canonical
+    assert hash(frozen) == hash(canonical)
