@@ -1,0 +1,33 @@
+"""Benchmark of the registry-driven artifact pipeline (end to end).
+
+Times one experiment (Figure 6) executed through
+:func:`repro.experiments.registry.run_experiment` -- the same code path
+the CLI uses -- and then exercises the full structured-artifact emission:
+JSON envelope (schema-validated on construction), CSV series, manifest.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import registry
+from repro.experiments.artifacts import write_experiment_artifacts
+
+
+def test_registry_artifact_pipeline(benchmark, settings, tmp_path):
+    spec = registry.get("figure6")
+    run = run_once(benchmark, registry.run_experiment, spec, settings=settings)
+    print()
+    print("=== Registry pipeline: figure6 via run_experiment ===")
+    print(run.text())
+
+    written = write_experiment_artifacts(
+        str(tmp_path),
+        spec.name,
+        text=run.text(),
+        payload=run.payload(),  # schema-validated on construction
+        manifest=run.manifest,
+        table=run.table(),
+    )
+    assert set(written) == {"text", "json", "manifest", "csv"}
+    assert run.manifest.points, "per-point timings must reach the manifest"
+    assert run.manifest.settings_hash == settings.settings_hash()

@@ -1,10 +1,33 @@
-"""Setup shim.
+"""Packaging metadata for the reproduction.
 
-The project metadata lives in ``pyproject.toml``; this file exists so that
-``pip install -e .`` works in environments whose setuptools predates PEP 660
-editable installs (it falls back to the legacy ``setup.py develop`` path).
+Kept as a plain ``setup.py`` (rather than ``pyproject.toml``) so that
+``pip install -e .`` works in environments whose setuptools predates
+PEP 660 editable installs.  Installing exposes the ``repro`` console
+script; ``python -m repro`` works as well (with ``PYTHONPATH=src`` when
+not installed).
 """
 
-from setuptools import setup
+import re
 
-setup()
+from setuptools import find_packages, setup
+
+
+def _package_version() -> str:
+    """Read ``repro.__version__`` without importing (deps may be absent)."""
+    with open("src/repro/__init__.py", encoding="utf-8") as handle:
+        return re.search(r'^__version__ = "(.+?)"', handle.read(), re.M).group(1)
+
+
+setup(
+    name="repro-dsn2002-consensus",
+    version=_package_version(),
+    description=(
+        "Reproduction of the DSN 2002 combined measurement/SAN-simulation "
+        "study of Chandra-Toueg consensus"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy", "scipy"],
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
+)

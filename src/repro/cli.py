@@ -2,22 +2,32 @@
 
 Usage::
 
-    python -m repro.cli figure6 [--scale smoke|quick|full] [--jobs N]
-    python -m repro.cli figure7a
-    python -m repro.cli figure7b
-    python -m repro.cli means
-    python -m repro.cli table1
-    python -m repro.cli figure8
-    python -m repro.cli figure9
-    python -m repro.cli faultsweep
-    python -m repro.cli solvercompare
-    python -m repro.cli all
+    python -m repro EXPERIMENT [options]
+    python -m repro all [options]
+    python -m repro --list
 
-``--jobs N`` fans the independent points of each sweep out over N worker
-processes through :mod:`repro.experiments.runner` (``--jobs 0`` uses one
-worker per CPU); the output is bit-for-bit identical to a serial run.
-``--cache-dir DIR`` memoises per-point results on disk so that re-rendering
-a figure (or resuming after an interrupt) only recomputes missing points.
+Subcommands are **discovered from the experiment registry**
+(:mod:`repro.experiments.registry`) -- adding a new experiment module that
+registers an :class:`~repro.experiments.registry.ExperimentSpec` makes it
+appear here automatically; ``--list`` shows what is available and ``all``
+iterates the whole registry in name order.
+
+Options:
+
+* ``--scale smoke|quick|full`` selects the experiment scale (default:
+  ``REPRO_EXPERIMENT_SCALE`` or ``quick``).
+* ``--jobs N`` fans the independent points of each sweep out over N worker
+  processes through :mod:`repro.experiments.runner` (``--jobs 0`` uses one
+  worker per CPU); the output is bit-for-bit identical to a serial run.
+* ``--cache-dir DIR`` memoises per-point results on disk so that
+  re-rendering a figure (or resuming after an interrupt) only recomputes
+  missing points.
+* ``--format text|json|csv`` chooses the stdout rendering: the
+  paper-faithful text (default), the schema-valid JSON artifact envelope
+  (run manifest included), or the experiment's tabular series as CSV.
+* ``--output DIR`` additionally writes every artifact --
+  ``report.txt``, ``result.json``, ``result.csv`` (for tabular
+  experiments) and ``manifest.json`` -- under ``DIR/<experiment>/``.
 
 The textual output mirrors the corresponding table or figure of the paper;
 the same generators back the benchmark suite in ``benchmarks/``.
@@ -26,105 +36,39 @@ the same generators back the benchmark suite in ``benchmarks/``.
 from __future__ import annotations
 
 import argparse
-import os
 import sys
-import time
-from typing import Callable, Dict, Optional
+from typing import Optional
 
-from repro.experiments.fault_sweep import format_fault_sweep, run_fault_sweep
-from repro.experiments.figure6 import format_figure6, run_figure6
-from repro.experiments.figure7 import (
-    format_latency_means,
-    run_figure7a,
-    run_figure7b,
-    run_latency_means,
+from repro.experiments import registry
+from repro.experiments.artifacts import (
+    dump_json,
+    render_csv,
+    write_experiment_artifacts,
 )
-from repro.experiments.figure8 import format_figure8, run_figure8
-from repro.experiments.figure9 import format_figure9, run_figure9
-from repro.experiments.settings import ExperimentSettings
-from repro.experiments.solver_compare import (
-    format_solver_compare,
-    run_solver_compare,
-)
-from repro.experiments.table1 import format_table1, run_table1
-
-#: A report generator: (settings, jobs, cache_dir) -> rendered text.
-Report = Callable[[ExperimentSettings, Optional[int], Optional[str]], str]
+from repro.experiments.settings import SCALE_PRESETS
 
 
-def _report_figure7a(
-    settings: ExperimentSettings, jobs: Optional[int], cache_dir: Optional[str]
-) -> str:
-    result = run_figure7a(settings, jobs=jobs, cache_dir=cache_dir)
-    lines = ["Figure 7(a): latency, no failures, no suspicions",
-             "n    mean [ms]   median [ms]   p90 [ms]"]
-    for n in sorted(result.latencies_by_n):
-        cdf = result.cdf(n)
-        lines.append(
-            f"{n:<4d} {cdf.mean():9.3f}   {cdf.median():11.3f}   {cdf.quantile(0.9):8.3f}"
-        )
-    return "\n".join(lines)
-
-
-def _report_figure7b(
-    settings: ExperimentSettings, jobs: Optional[int], cache_dir: Optional[str]
-) -> str:
-    result = run_figure7b(settings, jobs=jobs, cache_dir=cache_dir)
-    lines = [
-        "Figure 7(b): calibration of t_send "
-        f"(measured mean {result.measured_cdf().mean():.3f} ms, n={result.n_processes})",
-        "t_send [ms]   simulated mean [ms]   KS distance",
-    ]
-    for candidate in result.calibration.candidates:
-        lines.append(
-            f"{candidate.t_send_ms:11.3f}   {candidate.mean_latency_ms:19.3f}   "
-            f"{candidate.ks_distance:10.3f}"
-        )
-    lines.append(f"calibrated t_send = {result.best_t_send_ms} ms")
-    return "\n".join(lines)
-
-
-REPORTS: Dict[str, Report] = {
-    "figure6": lambda settings, jobs, cache_dir: format_figure6(
-        run_figure6(settings, jobs=jobs, cache_dir=cache_dir)
-    ),
-    "figure7a": _report_figure7a,
-    "figure7b": _report_figure7b,
-    "means": lambda settings, jobs, cache_dir: format_latency_means(
-        run_latency_means(settings, jobs=jobs, cache_dir=cache_dir)
-    ),
-    "table1": lambda settings, jobs, cache_dir: format_table1(
-        run_table1(settings, jobs=jobs, cache_dir=cache_dir)
-    ),
-    "figure8": lambda settings, jobs, cache_dir: format_figure8(
-        run_figure8(settings, jobs=jobs, cache_dir=cache_dir)
-    ),
-    "figure9": lambda settings, jobs, cache_dir: format_figure9(
-        run_figure9(settings, jobs=jobs, cache_dir=cache_dir)
-    ),
-    "faultsweep": lambda settings, jobs, cache_dir: format_fault_sweep(
-        run_fault_sweep(settings, jobs=jobs, cache_dir=cache_dir)
-    ),
-    "solvercompare": lambda settings, jobs, cache_dir: format_solver_compare(
-        run_solver_compare(settings, jobs=jobs, cache_dir=cache_dir)
-    ),
-}
-
-
-def main(argv: list[str] | None = None) -> int:
-    """Entry point of ``python -m repro.cli``."""
+def _build_parser() -> argparse.ArgumentParser:
+    """The argument parser, with choices discovered from the registry."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate the tables and figures of the DSN 2002 paper.",
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(REPORTS) + ["all"],
-        help="which table/figure to regenerate",
+        nargs="?",
+        choices=registry.names() + ["all"],
+        help="which table/figure to regenerate ('all' runs every registered experiment)",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_experiments",
+        help="list the registered experiments and exit",
     )
     parser.add_argument(
         "--scale",
-        choices=("smoke", "quick", "full"),
+        choices=list(SCALE_PRESETS),
         default=None,
         help="experiment scale (default: REPRO_EXPERIMENT_SCALE or 'quick')",
     )
@@ -141,33 +85,92 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="directory for on-disk memoisation of per-point results",
     )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "csv"),
+        default="text",
+        dest="output_format",
+        help="stdout rendering: paper-faithful text, JSON artifact, or CSV series",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="DIR",
+        help="write report.txt/result.json/result.csv/manifest.json under DIR/<experiment>/",
+    )
+    return parser
+
+
+def _print_listing() -> None:
+    """Print the registered experiments, one per line."""
+    specs = registry.iter_specs()
+    width = max(len(spec.name) for spec in specs)
+    for spec in specs:
+        print(f"{spec.name:<{width}}  {spec.description}")
+
+
+def _emit(
+    run: "registry.ExperimentRun",
+    output_format: str,
+    output_dir: Optional[str],
+) -> None:
+    """Render one experiment run to stdout (and to disk with ``--output``)."""
+    spec = run.spec
+    text = run.text()
+    # Build the (potentially large) structured views exactly once, and only
+    # when something consumes them.
+    needs_payload = output_dir is not None or output_format == "json"
+    needs_table = output_dir is not None or output_format == "csv"
+    payload = run.payload() if needs_payload else None
+    table = run.table() if needs_table else None
+    if output_dir is not None:
+        write_experiment_artifacts(
+            output_dir,
+            spec.name,
+            text=text,
+            payload=payload,
+            manifest=run.manifest,
+            table=table,
+        )
+    if output_format == "text":
+        print(f"==== {spec.name} ====")
+        print(text)
+        print(f"[{spec.name} regenerated in {run.manifest.wall_clock_seconds:.1f} s]")
+        print()
+    elif output_format == "json":
+        print(dump_json(payload))
+    else:
+        if table is None:
+            print(f"# {spec.name}: no tabular series; use --format json", file=sys.stderr)
+        else:
+            print(render_csv(table), end="")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of ``python -m repro`` (and the ``repro`` console script)."""
+    parser = _build_parser()
     args = parser.parse_args(argv)
 
-    if args.jobs < 0:
-        parser.error(f"--jobs must be >= 1 (or 0 for one per CPU), got {args.jobs}")
-    if args.cache_dir is not None and os.path.exists(args.cache_dir) and not os.path.isdir(args.cache_dir):
-        parser.error(f"--cache-dir {args.cache_dir!r} exists and is not a directory")
+    if args.list_experiments:
+        _print_listing()
+        return 0
+    if args.experiment is None:
+        parser.error("an experiment name (or 'all', or --list) is required")
 
-    if args.scale is not None:
-        settings = {
-            "smoke": ExperimentSettings.smoke,
-            "quick": ExperimentSettings.quick,
-            "full": ExperimentSettings.full,
-        }[args.scale]()
-    else:
-        settings = ExperimentSettings.from_environment()
-    if args.seed is not None:
-        from dataclasses import replace
+    options = registry.ExperimentOptions(
+        scale=args.scale, seed=args.seed, jobs=args.jobs, cache_dir=args.cache_dir
+    )
+    try:
+        options.validate()
+        settings = options.resolve_settings()
+    except ValueError as error:
+        parser.error(str(error))
 
-        settings = replace(settings, seed=args.seed)
-
-    names = sorted(REPORTS) if args.experiment == "all" else [args.experiment]
+    names = registry.names() if args.experiment == "all" else [args.experiment]
     for name in names:
-        started = time.time()
-        print(f"==== {name} ====")
-        print(REPORTS[name](settings, args.jobs, args.cache_dir))
-        print(f"[{name} regenerated in {time.time() - started:.1f} s]")
-        print()
+        spec = registry.get(name)
+        run = registry.run_experiment(spec, options=options, settings=settings)
+        _emit(run, args.output_format, args.output)
     return 0
 
 

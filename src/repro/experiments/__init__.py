@@ -28,8 +28,16 @@ Each generator expresses its grid as a
 :mod:`repro.experiments.runner`, so every sweep accepts ``jobs=`` (process
 parallelism; results are bit-for-bit independent of the worker count) and
 ``cache_dir=`` (on-disk memoisation of per-point results).
+
+Every generator additionally self-registers an
+:class:`~repro.experiments.registry.ExperimentSpec` in
+:mod:`repro.experiments.registry`, which is how the CLI discovers its
+subcommands and how the structured artifact layer
+(:mod:`repro.experiments.artifacts`) emits JSON/CSV results and run
+manifests for each experiment.
 """
 
+from repro.experiments.artifacts import RunManifest, validate_artifact
 from repro.experiments.fault_sweep import FaultSweepResult, run_fault_sweep
 from repro.experiments.figure6 import Figure6Result, run_figure6
 from repro.experiments.figure7 import (
@@ -42,6 +50,22 @@ from repro.experiments.figure7 import (
 )
 from repro.experiments.figure8 import Figure8Result, run_figure8
 from repro.experiments.figure9 import Figure9Result, run_figure9
+from repro.experiments.registry import (
+    ExperimentContext,
+    ExperimentOptions,
+    ExperimentRun,
+    ExperimentSpec,
+    run_experiment,
+)
+from repro.experiments.registry import (
+    discover as discover_experiments,
+)
+from repro.experiments.registry import (
+    get as get_experiment,
+)
+from repro.experiments.registry import (
+    names as experiment_names,
+)
 from repro.experiments.runner import (
     ReplicationPlan,
     ResultCache,
@@ -50,15 +74,26 @@ from repro.experiments.runner import (
     iter_plan,
 )
 from repro.experiments.settings import ExperimentSettings
+from repro.experiments.solver_compare import SolverCompareResult, run_solver_compare
 from repro.experiments.table1 import Table1Result, run_table1
 
 __all__ = [
+    "ExperimentContext",
+    "ExperimentOptions",
+    "ExperimentRun",
     "ExperimentSettings",
+    "ExperimentSpec",
     "ReplicationPlan",
     "ResultCache",
+    "RunManifest",
     "SweepPoint",
+    "discover_experiments",
     "execute_plan",
+    "experiment_names",
+    "get_experiment",
     "iter_plan",
+    "run_experiment",
+    "validate_artifact",
     "FaultSweepResult",
     "Figure6Result",
     "Figure7aResult",
@@ -66,6 +101,7 @@ __all__ = [
     "Figure8Result",
     "Figure9Result",
     "LatencyMeansResult",
+    "SolverCompareResult",
     "Table1Result",
     "run_fault_sweep",
     "run_figure6",
@@ -74,5 +110,6 @@ __all__ = [
     "run_figure8",
     "run_figure9",
     "run_latency_means",
+    "run_solver_compare",
     "run_table1",
 ]

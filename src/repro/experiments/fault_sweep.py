@@ -18,12 +18,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.measurement import MeasurementConfig, MeasurementRunner
 from repro.core.scenarios import Scenario
 from repro.core.simulation import SimulationConfig, SimulationRunner
-from repro.experiments.runner import ReplicationPlan, ResultCache, SweepPoint, iter_plan
+from repro.experiments.registry import ExperimentContext, ExperimentSpec, register
+from repro.experiments.runner import ReplicationPlan, SweepPoint
 from repro.experiments.settings import ExperimentSettings
 from repro.faults.spec import (
     CpuLoadBurst,
@@ -230,6 +231,17 @@ def fault_sweep_plan(
     return ReplicationPlan(settings=settings, points=tuple(points), name="faultsweep")
 
 
+def aggregate_fault_sweep(
+    settings: ExperimentSettings,
+    pairs: Iterable[Tuple[SweepPoint, Any]],
+) -> FaultSweepResult:
+    """Assemble the fault-sweep result from streamed point results."""
+    result = FaultSweepResult()
+    for _point, point in pairs:
+        result.points[(point.n_processes, point.load_kind, point.loss_rate)] = point
+    return result
+
+
 def run_fault_sweep(
     settings: ExperimentSettings | None = None,
     loss_rates: Tuple[float, ...] = DEFAULT_LOSS_RATES,
@@ -238,13 +250,9 @@ def run_fault_sweep(
     cache_dir: Optional[str] = None,
 ) -> FaultSweepResult:
     """Run the fault sweep."""
-    settings = settings or ExperimentSettings.from_environment()
-    plan = fault_sweep_plan(settings, loss_rates=loss_rates, load_kinds=load_kinds)
-    cache = ResultCache(cache_dir) if cache_dir else None
-    result = FaultSweepResult()
-    for _point, point in iter_plan(plan, jobs=jobs, cache=cache):
-        result.points[(point.n_processes, point.load_kind, point.loss_rate)] = point
-    return result
+    context = ExperimentContext.create(settings, jobs=jobs, cache_dir=cache_dir)
+    plan = fault_sweep_plan(context.settings, loss_rates=loss_rates, load_kinds=load_kinds)
+    return aggregate_fault_sweep(context.settings, context.iter(plan))
 
 
 def format_fault_sweep(result: FaultSweepResult) -> str:
@@ -273,3 +281,74 @@ def format_fault_sweep(result: FaultSweepResult) -> str:
     for cause in sorted(totals):
         lines.append(f"  {cause:<28s} {totals[cause]}")
     return "\n".join(lines)
+
+
+def fault_sweep_record(result: FaultSweepResult) -> Dict[str, Any]:
+    """The JSON artifact data of the fault sweep."""
+    points = []
+    for key in sorted(result.points):
+        point = result.points[key]
+        points.append(
+            {
+                "n_processes": point.n_processes,
+                "load_kind": point.load_kind,
+                "loss_rate": point.loss_rate,
+                "executions": point.executions,
+                "mean_latency_ms": point.mean_latency_ms,
+                "undecided": point.undecided,
+                "messages_sent": point.messages_sent,
+                "messages_delivered": point.messages_delivered,
+                "messages_dropped": point.messages_dropped,
+                "messages_duplicated": point.messages_duplicated,
+                "drops_by_cause": dict(sorted(point.drops_by_cause.items())),
+                "fault_counters": dict(sorted(point.fault_counters.items())),
+                "san_latency_ms": point.san_latency_ms,
+            }
+        )
+    return {
+        "points": points,
+        "total_drops_by_cause": dict(sorted(result.total_drops_by_cause().items())),
+    }
+
+
+def fault_sweep_rows(result: FaultSweepResult):
+    """The CSV series of the fault sweep."""
+    header = [
+        "n_processes",
+        "load_kind",
+        "loss_rate",
+        "mean_latency_ms",
+        "undecided",
+        "messages_dropped",
+        "messages_duplicated",
+        "san_latency_ms",
+    ]
+    rows = []
+    for key in sorted(result.points):
+        point = result.points[key]
+        rows.append(
+            [
+                point.n_processes,
+                point.load_kind,
+                point.loss_rate,
+                point.mean_latency_ms,
+                point.undecided,
+                point.messages_dropped,
+                point.messages_duplicated,
+                point.san_latency_ms,
+            ]
+        )
+    return header, rows
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="faultsweep",
+        description="Fault sweep: consensus latency under injected fault loads",
+        build_plan=fault_sweep_plan,
+        aggregate=aggregate_fault_sweep,
+        render_text=format_fault_sweep,
+        to_record=fault_sweep_record,
+        to_rows=fault_sweep_rows,
+    )
+)

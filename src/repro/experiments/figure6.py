@@ -11,13 +11,17 @@ cluster and reports both the CDFs and the fit.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.measurement import EndToEndDelayResult, measure_end_to_end_delays
-from repro.experiments.runner import ReplicationPlan, ResultCache, SweepPoint, iter_plan
+from repro.experiments.registry import ExperimentContext, ExperimentSpec, register
+from repro.experiments.runner import ReplicationPlan, SweepPoint
 from repro.experiments.settings import ExperimentSettings
 from repro.sanmodels.parameters import BimodalFit, SANParameters
 from repro.stats.cdf import EmpiricalCDF
+
+#: Quantiles reported in the textual rendering and the artifacts.
+REPORT_PROBABILITIES: Tuple[float, ...] = (0.1, 0.25, 0.5, 0.75, 0.9, 0.99)
 
 
 @dataclass
@@ -82,6 +86,27 @@ def figure6_plan(
     return ReplicationPlan(settings=settings, points=points, name="figure6")
 
 
+def aggregate_figure6(
+    settings: ExperimentSettings,
+    pairs: Iterable[Tuple[SweepPoint, Any]],
+) -> Figure6Result:
+    """Assemble the Figure 6 result from streamed ``(point, result)`` pairs."""
+    broadcast_delays: Dict[int, List[float]] = {}
+    unicast_delays: List[float] = []
+    for point, result in pairs:
+        n = dict(point.kwargs)["n_processes"]
+        broadcast_delays[n] = result.broadcast_delays
+        # The unicast delay does not depend on n; pool the probes from all
+        # cluster sizes to smooth the CDF (the paper plots a single curve).
+        unicast_delays.extend(result.unicast_delays)
+    fit = BimodalFit.from_samples(unicast_delays)
+    return Figure6Result(
+        unicast_delays=unicast_delays,
+        broadcast_delays_by_n=broadcast_delays,
+        unicast_fit=fit,
+    )
+
+
 def run_figure6(
     settings: ExperimentSettings | None = None,
     broadcast_process_counts: Sequence[int] = (3, 5),
@@ -100,30 +125,24 @@ def run_figure6(
     jobs:
         Worker processes for the sweep (1 = serial, 0/None = one per CPU).
     cache_dir:
-        Optional on-disk result cache (see :class:`ResultCache`).
+        Optional on-disk result cache.
     """
-    settings = settings or ExperimentSettings.from_environment()
-    plan = figure6_plan(settings, broadcast_process_counts)
-    cache = ResultCache(cache_dir) if cache_dir else None
-    broadcast_delays: Dict[int, List[float]] = {}
-    unicast_delays: List[float] = []
-    for point, result in iter_plan(plan, jobs=jobs, cache=cache):
-        n = dict(point.kwargs)["n_processes"]
-        broadcast_delays[n] = result.broadcast_delays
-        # The unicast delay does not depend on n; pool the probes from all
-        # cluster sizes to smooth the CDF (the paper plots a single curve).
-        unicast_delays.extend(result.unicast_delays)
-    fit = BimodalFit.from_samples(unicast_delays)
-    return Figure6Result(
-        unicast_delays=unicast_delays,
-        broadcast_delays_by_n=broadcast_delays,
-        unicast_fit=fit,
-    )
+    context = ExperimentContext.create(settings, jobs=jobs, cache_dir=cache_dir)
+    return run_figure6_in(context, broadcast_process_counts)
+
+
+def run_figure6_in(
+    context: ExperimentContext,
+    broadcast_process_counts: Sequence[int] = (3, 5),
+) -> Figure6Result:
+    """Context-based entry point (shared with composite experiments)."""
+    plan = figure6_plan(context.settings, broadcast_process_counts)
+    return aggregate_figure6(context.settings, context.iter(plan))
 
 
 def format_figure6(result: Figure6Result) -> str:
     """Render Figure 6 as a quantile table (one row per curve)."""
-    probabilities = (0.1, 0.25, 0.5, 0.75, 0.9, 0.99)
+    probabilities = REPORT_PROBABILITIES
     header = "curve              " + "  ".join(f"p{int(p * 100):02d}" for p in probabilities)
     lines = [header]
     for label, quantiles in result.rows(probabilities):
@@ -135,3 +154,50 @@ def format_figure6(result: Figure6Result) -> str:
         f"U[{result.unicast_fit.low2:.3f}, {result.unicast_fit.high2:.3f}] w.p. {1 - result.unicast_fit.p1:.2f}"
     )
     return "\n".join(lines)
+
+
+def figure6_record(result: Figure6Result) -> Dict[str, Any]:
+    """The JSON artifact data of Figure 6."""
+    fit = result.unicast_fit
+    return {
+        "quantile_probabilities": list(REPORT_PROBABILITIES),
+        "curves": [
+            {"label": label, "quantiles_ms": list(quantiles)}
+            for label, quantiles in result.rows(REPORT_PROBABILITIES)
+        ],
+        "unicast_fit": {
+            "low1_ms": fit.low1,
+            "high1_ms": fit.high1,
+            "p1": fit.p1,
+            "low2_ms": fit.low2,
+            "high2_ms": fit.high2,
+        },
+        "samples": {
+            "unicast": len(result.unicast_delays),
+            "broadcast_by_n": {
+                n: len(delays) for n, delays in sorted(result.broadcast_delays_by_n.items())
+            },
+        },
+    }
+
+
+def figure6_rows(result: Figure6Result):
+    """The CSV series of Figure 6: one row of quantiles per curve."""
+    header = ["curve"] + [f"p{int(p * 100):02d}_ms" for p in REPORT_PROBABILITIES]
+    rows = [
+        [label, *quantiles] for label, quantiles in result.rows(REPORT_PROBABILITIES)
+    ]
+    return header, rows
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="figure6",
+        description="Fig. 6: end-to-end delay CDFs of unicast and broadcast messages",
+        build_plan=figure6_plan,
+        aggregate=aggregate_figure6,
+        render_text=format_figure6,
+        to_record=figure6_record,
+        to_rows=figure6_rows,
+    )
+)

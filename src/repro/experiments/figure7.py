@@ -15,14 +15,15 @@ Three related generators:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.calibration import CalibrationResult, score_t_send_candidates
 from repro.core.measurement import MeasurementConfig, MeasurementRunner
 from repro.core.scenarios import Scenario
 from repro.core.simulation import SimulationConfig, SimulationRunner
-from repro.experiments.figure6 import run_figure6
-from repro.experiments.runner import ReplicationPlan, ResultCache, SweepPoint, iter_plan
+from repro.experiments.figure6 import run_figure6_in
+from repro.experiments.registry import ExperimentContext, ExperimentSpec, register
+from repro.experiments.runner import ReplicationPlan, SweepPoint
 from repro.experiments.settings import ExperimentSettings
 from repro.sanmodels.parameters import SANParameters
 from repro.stats.cdf import EmpiricalCDF
@@ -101,19 +102,70 @@ def figure7a_plan(settings: ExperimentSettings) -> ReplicationPlan:
     return ReplicationPlan(settings=settings, points=points, name="figure7a")
 
 
+def aggregate_figure7a(
+    settings: ExperimentSettings,
+    pairs: Iterable[Tuple[SweepPoint, Any]],
+) -> Figure7aResult:
+    """Assemble the Figure 7(a) result from streamed point results."""
+    latencies: Dict[int, List[float]] = {}
+    for point, result in pairs:
+        latencies[dict(point.kwargs)["n_processes"]] = result
+    return Figure7aResult(latencies_by_n=latencies)
+
+
 def run_figure7a(
     settings: ExperimentSettings | None = None,
     jobs: Optional[int] = 1,
     cache_dir: Optional[str] = None,
 ) -> Figure7aResult:
     """Measure the latency CDFs of Figure 7(a)."""
-    settings = settings or ExperimentSettings.from_environment()
-    plan = figure7a_plan(settings)
-    cache = ResultCache(cache_dir) if cache_dir else None
-    latencies: Dict[int, List[float]] = {}
-    for point, result in iter_plan(plan, jobs=jobs, cache=cache):
-        latencies[dict(point.kwargs)["n_processes"]] = result
-    return Figure7aResult(latencies_by_n=latencies)
+    context = ExperimentContext.create(settings, jobs=jobs, cache_dir=cache_dir)
+    return run_figure7a_in(context)
+
+
+def run_figure7a_in(context: ExperimentContext) -> Figure7aResult:
+    """Context-based entry point (shared with the §5.2 means experiment)."""
+    plan = figure7a_plan(context.settings)
+    return aggregate_figure7a(context.settings, context.iter(plan))
+
+
+def format_figure7a(result: Figure7aResult) -> str:
+    """Render Figure 7(a) as a per-n summary table."""
+    lines = ["Figure 7(a): latency, no failures, no suspicions",
+             "n    mean [ms]   median [ms]   p90 [ms]"]
+    for n in sorted(result.latencies_by_n):
+        cdf = result.cdf(n)
+        lines.append(
+            f"{n:<4d} {cdf.mean():9.3f}   {cdf.median():11.3f}   {cdf.quantile(0.9):8.3f}"
+        )
+    return "\n".join(lines)
+
+
+def figure7a_record(result: Figure7aResult) -> Dict[str, Any]:
+    """The JSON artifact data of Figure 7(a)."""
+    series = []
+    for n in sorted(result.latencies_by_n):
+        cdf = result.cdf(n)
+        series.append(
+            {
+                "n_processes": n,
+                "mean_ms": cdf.mean(),
+                "median_ms": cdf.median(),
+                "p90_ms": cdf.quantile(0.9),
+                "executions": cdf.n,
+            }
+        )
+    return {"latency_by_n": series}
+
+
+def figure7a_rows(result: Figure7aResult):
+    """The CSV series of Figure 7(a)."""
+    header = ["n_processes", "mean_ms", "median_ms", "p90_ms", "executions"]
+    rows = []
+    for n in sorted(result.latencies_by_n):
+        cdf = result.cdf(n)
+        rows.append([n, cdf.mean(), cdf.median(), cdf.quantile(0.9), cdf.n])
+    return header, rows
 
 
 # ----------------------------------------------------------------------
@@ -200,21 +252,39 @@ def run_figure7b(
     through the sweep runner; the calibration (KS distance per candidate)
     is computed from those simulated latencies directly.
     """
-    settings = settings or ExperimentSettings.from_environment()
+    context = ExperimentContext.create(settings, jobs=jobs, cache_dir=cache_dir)
+    return run_figure7b_in(
+        context,
+        n_processes=n_processes,
+        measured_latencies=measured_latencies,
+        parameters=parameters,
+    )
+
+
+def run_figure7b_in(
+    context: ExperimentContext,
+    n_processes: int = 5,
+    measured_latencies: Optional[List[float]] = None,
+    parameters: Optional[SANParameters] = None,
+) -> Figure7bResult:
+    """Context-based entry point of the Figure 7(b) calibration."""
+    settings = context.settings
     if measured_latencies is None:
-        measured_latencies = measure_latencies(
-            settings,
-            n_processes=n_processes,
-            scenario=Scenario.no_failures(),
-            executions=settings.executions,
-            point_seed=settings.point_seed(7, 2, n_processes),
+        measured_latencies = context.record(
+            f"figure7b measure n={n_processes}",
+            lambda: measure_latencies(
+                settings,
+                n_processes=n_processes,
+                scenario=Scenario.no_failures(),
+                executions=settings.executions,
+                point_seed=settings.point_seed(7, 2, n_processes),
+            ),
         )
     if parameters is None:
-        parameters = run_figure6(settings, jobs=jobs, cache_dir=cache_dir).san_parameters()
+        parameters = run_figure6_in(context).san_parameters()
     plan = figure7b_plan(settings, n_processes, parameters)
-    cache = ResultCache(cache_dir) if cache_dir else None
     simulated: Dict[float, List[float]] = {}
-    for point, latencies in iter_plan(plan, jobs=jobs, cache=cache):
+    for point, latencies in context.iter(plan):
         simulated[dict(point.kwargs)["t_send_ms"]] = latencies
     calibration = score_t_send_candidates(
         measured_latencies, list(simulated.items())
@@ -226,6 +296,50 @@ def run_figure7b(
         calibration=calibration,
         parameters=parameters,
     )
+
+
+def format_figure7b(result: Figure7bResult) -> str:
+    """Render the Figure 7(b) calibration table."""
+    lines = [
+        "Figure 7(b): calibration of t_send "
+        f"(measured mean {result.measured_cdf().mean():.3f} ms, n={result.n_processes})",
+        "t_send [ms]   simulated mean [ms]   KS distance",
+    ]
+    for candidate in result.calibration.candidates:
+        lines.append(
+            f"{candidate.t_send_ms:11.3f}   {candidate.mean_latency_ms:19.3f}   "
+            f"{candidate.ks_distance:10.3f}"
+        )
+    lines.append(f"calibrated t_send = {result.best_t_send_ms} ms")
+    return "\n".join(lines)
+
+
+def figure7b_record(result: Figure7bResult) -> Dict[str, Any]:
+    """The JSON artifact data of Figure 7(b)."""
+    return {
+        "n_processes": result.n_processes,
+        "measured_mean_ms": result.measured_cdf().mean(),
+        "measured_executions": len(result.measured_latencies),
+        "candidates": [
+            {
+                "t_send_ms": candidate.t_send_ms,
+                "simulated_mean_ms": candidate.mean_latency_ms,
+                "ks_distance": candidate.ks_distance,
+            }
+            for candidate in result.calibration.candidates
+        ],
+        "best_t_send_ms": result.best_t_send_ms,
+    }
+
+
+def figure7b_rows(result: Figure7bResult):
+    """The CSV series of Figure 7(b)."""
+    header = ["t_send_ms", "simulated_mean_ms", "ks_distance"]
+    rows = [
+        [candidate.t_send_ms, candidate.mean_latency_ms, candidate.ks_distance]
+        for candidate in result.calibration.candidates
+    ]
+    return header, rows
 
 
 # ----------------------------------------------------------------------
@@ -293,18 +407,33 @@ def run_latency_means(
     cache_dir: Optional[str] = None,
 ) -> LatencyMeansResult:
     """Compute the §5.2 mean-latency comparison (measurement vs. SAN)."""
-    settings = settings or ExperimentSettings.from_environment()
-    figure7a = figure7a or run_figure7a(settings, jobs=jobs, cache_dir=cache_dir)
+    context = ExperimentContext.create(settings, jobs=jobs, cache_dir=cache_dir)
+    return run_latency_means_in(
+        context,
+        figure7a=figure7a,
+        parameters=parameters,
+        calibrated_t_send_ms=calibrated_t_send_ms,
+    )
+
+
+def run_latency_means_in(
+    context: ExperimentContext,
+    figure7a: Optional[Figure7aResult] = None,
+    parameters: Optional[SANParameters] = None,
+    calibrated_t_send_ms: Optional[float] = None,
+) -> LatencyMeansResult:
+    """Context-based entry point of the §5.2 means comparison."""
+    settings = context.settings
+    figure7a = figure7a or run_figure7a_in(context)
     if parameters is None:
-        parameters = run_figure6(settings, jobs=jobs, cache_dir=cache_dir).san_parameters()
+        parameters = run_figure6_in(context).san_parameters()
     if calibrated_t_send_ms is not None:
         parameters = parameters.with_t_send(calibrated_t_send_ms)
     result = LatencyMeansResult()
     for n, latencies in figure7a.latencies_by_n.items():
         result.measured[n] = confidence_interval(latencies)
     plan = latency_means_plan(settings, parameters)
-    cache = ResultCache(cache_dir) if cache_dir else None
-    for point, latencies in iter_plan(plan, jobs=jobs, cache=cache):
+    for point, latencies in context.iter(plan):
         n = dict(point.kwargs)["n_processes"]
         result.simulated[n] = confidence_interval(latencies)
     return result
@@ -317,3 +446,72 @@ def format_latency_means(result: LatencyMeansResult) -> str:
         simulated_text = f"{simulated:14.3f}" if simulated is not None else " " * 14
         lines.append(f"{n:<3d} {measured:14.3f} {simulated_text}")
     return "\n".join(lines)
+
+
+def latency_means_record(result: LatencyMeansResult) -> Dict[str, Any]:
+    """The JSON artifact data of the §5.2 means (with confidence intervals)."""
+
+    def interval_dict(interval: Optional[ConfidenceInterval]) -> Optional[Dict[str, Any]]:
+        if interval is None:
+            return None
+        return {
+            "mean_ms": interval.mean,
+            "half_width_ms": interval.half_width,
+            "confidence": interval.confidence,
+            "n": interval.n,
+        }
+
+    return {
+        "rows": [
+            {
+                "n_processes": n,
+                "measured": interval_dict(result.measured.get(n)),
+                "simulated": interval_dict(result.simulated.get(n)),
+            }
+            for n in sorted(result.measured)
+        ]
+    }
+
+
+def latency_means_rows(result: LatencyMeansResult):
+    """The CSV series of the §5.2 means."""
+    header = ["n_processes", "measured_mean_ms", "simulated_mean_ms"]
+    return header, [list(row) for row in result.rows()]
+
+
+# ----------------------------------------------------------------------
+# Registered specs
+# ----------------------------------------------------------------------
+FIGURE7A_SPEC = register(
+    ExperimentSpec(
+        name="figure7a",
+        description="Fig. 7(a): measured latency CDFs, no failures, no suspicions",
+        build_plan=figure7a_plan,
+        aggregate=aggregate_figure7a,
+        render_text=format_figure7a,
+        to_record=figure7a_record,
+        to_rows=figure7a_rows,
+    )
+)
+
+FIGURE7B_SPEC = register(
+    ExperimentSpec(
+        name="figure7b",
+        description="Fig. 7(b): calibration of t_send against the measured CDF",
+        run=run_figure7b_in,
+        render_text=format_figure7b,
+        to_record=figure7b_record,
+        to_rows=figure7b_rows,
+    )
+)
+
+MEANS_SPEC = register(
+    ExperimentSpec(
+        name="means",
+        description="§5.2: mean latencies, measurement vs. SAN simulation",
+        run=run_latency_means_in,
+        render_text=format_latency_means,
+        to_record=latency_means_record,
+        to_rows=latency_means_rows,
+    )
+)

@@ -15,11 +15,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.measurement import MeasurementConfig, MeasurementRunner
 from repro.core.scenarios import Scenario
-from repro.experiments.runner import ReplicationPlan, ResultCache, SweepPoint, iter_plan
+from repro.experiments.registry import ExperimentContext, ExperimentSpec, register
+from repro.experiments.runner import ReplicationPlan, SweepPoint
 from repro.experiments.settings import ExperimentSettings, scaled_timeouts
 from repro.failure_detectors.qos import QoSEstimate
 
@@ -138,19 +139,26 @@ def figure8_plan(settings: ExperimentSettings) -> ReplicationPlan:
     return ReplicationPlan(settings=settings, points=tuple(points), name="figure8")
 
 
+def aggregate_figure8(
+    settings: ExperimentSettings,
+    pairs: Iterable[Tuple[SweepPoint, Any]],
+) -> Figure8Result:
+    """Assemble the Figure 8 result from streamed point results."""
+    result = Figure8Result()
+    for _point, point in pairs:
+        result.points[(point.n_processes, point.timeout_ms)] = point
+    return result
+
+
 def run_figure8(
     settings: ExperimentSettings | None = None,
     jobs: Optional[int] = 1,
     cache_dir: Optional[str] = None,
 ) -> Figure8Result:
     """Run the Figure 8 QoS sweep."""
-    settings = settings or ExperimentSettings.from_environment()
-    plan = figure8_plan(settings)
-    cache = ResultCache(cache_dir) if cache_dir else None
-    result = Figure8Result()
-    for _point, point in iter_plan(plan, jobs=jobs, cache=cache):
-        result.points[(point.n_processes, point.timeout_ms)] = point
-    return result
+    context = ExperimentContext.create(settings, jobs=jobs, cache_dir=cache_dir)
+    plan = figure8_plan(context.settings)
+    return aggregate_figure8(context.settings, context.iter(plan))
 
 
 def format_figure8(result: Figure8Result) -> str:
@@ -177,3 +185,49 @@ def format_figure8(result: Figure8Result) -> str:
             lines.append(f"{t:6.1f}   " + "  ".join(cells))
         lines.append("")
     return "\n".join(lines)
+
+
+def figure8_record(result: Figure8Result) -> Dict[str, Any]:
+    """The JSON artifact data of Figure 8 (non-finite T_MR becomes null)."""
+    points = []
+    for (n, t) in sorted(result.points):
+        point = result.points[(n, t)]
+        points.append(
+            {
+                "n_processes": n,
+                "timeout_ms": t,
+                "mistake_recurrence_time_ms": point.mistake_recurrence_time_ms,
+                "mistake_duration_ms": point.mistake_duration_ms,
+                "undecided": point.undecided,
+                "executions": len(point.latencies_ms),
+            }
+        )
+    return {"points": points}
+
+
+def figure8_rows(result: Figure8Result):
+    """The CSV series of Figure 8 (both panels as columns)."""
+    header = ["n_processes", "timeout_ms", "mistake_recurrence_time_ms", "mistake_duration_ms"]
+    rows = [
+        [
+            n,
+            t,
+            result.points[(n, t)].mistake_recurrence_time_ms,
+            result.points[(n, t)].mistake_duration_ms,
+        ]
+        for (n, t) in sorted(result.points)
+    ]
+    return header, rows
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="figure8",
+        description="Fig. 8: failure-detector QoS (T_MR, T_M) vs. the timeout T",
+        build_plan=figure8_plan,
+        aggregate=aggregate_figure8,
+        render_text=format_figure8,
+        to_record=figure8_record,
+        to_rows=figure8_rows,
+    )
+)

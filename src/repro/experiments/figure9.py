@@ -16,12 +16,13 @@ assumes the failure-detector modules to be mutually independent.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.scenarios import Scenario
 from repro.core.simulation import SimulationConfig, SimulationRunner
 from repro.experiments.figure8 import Figure8Point, Figure8Result, measure_class3_point
-from repro.experiments.runner import ReplicationPlan, ResultCache, SweepPoint, iter_plan
+from repro.experiments.registry import ExperimentContext, ExperimentSpec, register
+from repro.experiments.runner import ReplicationPlan, SweepPoint
 from repro.experiments.settings import ExperimentSettings, scaled_timeouts
 from repro.sanmodels.fd_model import TransitionKind
 from repro.sanmodels.parameters import SANParameters
@@ -159,6 +160,22 @@ def figure9_plan(
     return ReplicationPlan(settings=settings, points=tuple(points), name="figure9")
 
 
+def aggregate_figure9(
+    settings: ExperimentSettings,
+    pairs: Iterable[Tuple[SweepPoint, Any]],
+) -> Figure9Result:
+    """Assemble the Figure 9 result from streamed point results."""
+    result = Figure9Result()
+    for _point, point in pairs:
+        result.points[(point.n_processes, point.timeout_ms)] = point
+    return result
+
+
+def _default_figure9_plan(settings: ExperimentSettings) -> ReplicationPlan:
+    """The registry's plan: default SAN parameters, fresh measurements."""
+    return figure9_plan(settings, SANParameters())
+
+
 def run_figure9(
     settings: ExperimentSettings | None = None,
     figure8: Optional[Figure8Result] = None,
@@ -173,14 +190,10 @@ def run_figure9(
     QoS estimation and the latency measurement come from the same runs, as
     in the paper); otherwise the class-3 measurements are run afresh.
     """
-    settings = settings or ExperimentSettings.from_environment()
+    context = ExperimentContext.create(settings, jobs=jobs, cache_dir=cache_dir)
     parameters = parameters or SANParameters()
-    plan = figure9_plan(settings, parameters, figure8)
-    cache = ResultCache(cache_dir) if cache_dir else None
-    result = Figure9Result()
-    for _point, point in iter_plan(plan, jobs=jobs, cache=cache):
-        result.points[(point.n_processes, point.timeout_ms)] = point
-    return result
+    plan = figure9_plan(context.settings, parameters, figure8)
+    return aggregate_figure9(context.settings, context.iter(plan))
 
 
 def format_figure9(result: Figure9Result) -> str:
@@ -201,3 +214,50 @@ def format_figure9(result: Figure9Result) -> str:
             )
         lines.append("")
     return "\n".join(lines)
+
+
+def figure9_record(result: Figure9Result) -> Dict[str, Any]:
+    """The JSON artifact data of Figure 9."""
+    points = []
+    for (n, t) in sorted(result.points):
+        point = result.points[(n, t)]
+        points.append(
+            {
+                "n_processes": n,
+                "timeout_ms": t,
+                "measured_latency_ms": point.measured_latency_ms,
+                "simulated_latency_ms": {
+                    kind: point.simulated(kind) for kind in FD_KINDS
+                },
+                "undecided": point.undecided,
+            }
+        )
+    return {"fd_kinds": list(FD_KINDS), "points": points}
+
+
+def figure9_rows(result: Figure9Result):
+    """The CSV series of Figure 9."""
+    header = ["n_processes", "timeout_ms", "measured_latency_ms"] + [
+        f"simulated_{kind}_ms" for kind in FD_KINDS
+    ]
+    rows = []
+    for (n, t) in sorted(result.points):
+        point = result.points[(n, t)]
+        rows.append(
+            [n, t, point.measured_latency_ms]
+            + [point.simulated(kind) for kind in FD_KINDS]
+        )
+    return header, rows
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="figure9",
+        description="Fig. 9: latency vs. the timeout T, measured and SAN-simulated",
+        build_plan=_default_figure9_plan,
+        aggregate=aggregate_figure9,
+        render_text=format_figure9,
+        to_record=figure9_record,
+        to_rows=figure9_rows,
+    )
+)

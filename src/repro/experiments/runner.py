@@ -34,6 +34,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import (
@@ -54,6 +55,7 @@ __all__ = [
     "SweepPoint",
     "ReplicationPlan",
     "ResultCache",
+    "TimingHook",
     "iter_plan",
     "execute_plan",
     "resolve_jobs",
@@ -247,14 +249,31 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     if jobs is None or jobs == 0:
         return max(1, os.cpu_count() or 1)
     if jobs < 0:
-        raise ValueError(f"jobs must be >= 1 (or 0/None for auto), got {jobs}")
+        raise ValueError(
+            f"jobs must be a positive integer, or 0/None for one worker per CPU; got {jobs}"
+        )
     return jobs
 
 
-def _execute_payload(payload: Tuple[Callable[..., Any], Dict[str, Any]]) -> Any:
-    """Run one point in a worker process (module-level, hence picklable)."""
+#: Per-point timing callback: ``hook(point, seconds, cached)``.  ``seconds``
+#: is the point function's own wall-clock (measured inside the worker for
+#: pooled execution, so it excludes queueing); cache hits report 0.0 with
+#: ``cached=True``.
+TimingHook = Callable[[SweepPoint, float, bool], None]
+
+
+def _execute_payload(
+    payload: Tuple[Callable[..., Any], Dict[str, Any]],
+) -> Tuple[float, Any]:
+    """Run one point in a worker process (module-level, hence picklable).
+
+    Returns ``(seconds, result)`` so the parent can report per-point wall
+    clock without a second round-trip to the worker.
+    """
     func, kwargs = payload
-    return func(**kwargs)
+    started = time.perf_counter()
+    result = func(**kwargs)
+    return time.perf_counter() - started, result
 
 
 def iter_plan(
@@ -262,6 +281,7 @@ def iter_plan(
     jobs: Optional[int] = 1,
     cache: Optional[ResultCache] = None,
     pool: Optional[ProcessPoolExecutor] = None,
+    timing_hook: Optional[TimingHook] = None,
 ) -> Iterator[Tuple[SweepPoint, Any]]:
     """Execute a plan, yielding ``(point, result)`` pairs *in plan order*.
 
@@ -276,6 +296,10 @@ def iter_plan(
     execute many small plans in a loop, e.g. the SAN solver's
     relative-precision chunks, where a per-chunk pool startup would cost
     more than the chunk itself.
+
+    ``timing_hook`` receives ``(point, seconds, cached)`` per point as its
+    result is yielded; the artifact layer uses it to record per-point wall
+    clock in run manifests.  Timings never influence results or caching.
     """
     jobs = resolve_jobs(jobs)
     keys: List[Optional[str]] = []
@@ -290,20 +314,30 @@ def iter_plan(
         if hit:
             cached[index] = value
 
-    def finish(index: int, point: SweepPoint, result: Any) -> Tuple[SweepPoint, Any]:
+    def finish(
+        index: int, point: SweepPoint, seconds: float, result: Any
+    ) -> Tuple[SweepPoint, Any]:
         if cache is not None and index not in cached:
             key = keys[index]
             assert key is not None
             cache.put(key, result)
+        if timing_hook is not None:
+            timing_hook(point, seconds, False)
         return point, result
+
+    def finish_cached(point: SweepPoint, value: Any) -> Tuple[SweepPoint, Any]:
+        if timing_hook is not None:
+            timing_hook(point, 0.0, True)
+        return point, value
 
     if pool is None and (jobs == 1 or len(plan.points) - len(cached) <= 1):
         for index, point in enumerate(plan.points):
             if index in cached:
-                yield point, cached[index]
+                yield finish_cached(point, cached[index])
                 continue
+            started = time.perf_counter()
             result = point.func(**point.call_kwargs(plan.settings))
-            yield finish(index, point, result)
+            yield finish(index, point, time.perf_counter() - started, result)
         return
 
     uncached_count = len(plan.points) - len(cached)
@@ -320,9 +354,10 @@ def iter_plan(
         }
         for index, point in enumerate(plan.points):
             if index in cached:
-                yield point, cached[index]
+                yield finish_cached(point, cached[index])
             else:
-                yield finish(index, point, futures[index].result())
+                seconds, result = futures[index].result()
+                yield finish(index, point, seconds, result)
     finally:
         if owned:
             pool.shutdown()

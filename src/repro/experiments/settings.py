@@ -17,9 +17,11 @@ environment variable.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
-from dataclasses import dataclass, field, replace
-from typing import Sequence, Tuple
+from dataclasses import asdict, dataclass, field, replace
+from typing import Callable, Dict, Sequence, Tuple
 
 from repro.cluster.config import ClusterConfig
 
@@ -102,16 +104,40 @@ class ExperimentSettings:
     def from_environment(default: str = "quick") -> "ExperimentSettings":
         """Pick the preset named by ``REPRO_EXPERIMENT_SCALE`` (default quick)."""
         name = os.environ.get("REPRO_EXPERIMENT_SCALE", default).strip().lower()
-        presets = {
-            "smoke": ExperimentSettings.smoke,
-            "quick": ExperimentSettings.quick,
-            "full": ExperimentSettings.full,
-        }
-        if name not in presets:
+        return ExperimentSettings.from_scale(name)
+
+    @staticmethod
+    def from_scale(name: str) -> "ExperimentSettings":
+        """The preset registered under ``name`` in :data:`SCALE_PRESETS`."""
+        try:
+            factory = SCALE_PRESETS[name]
+        except KeyError:
             raise ValueError(
-                f"unknown REPRO_EXPERIMENT_SCALE {name!r}; expected one of {sorted(presets)}"
-            )
-        return presets[name]()
+                f"unknown experiment scale {name!r}; expected one of {sorted(SCALE_PRESETS)}"
+            ) from None
+        return factory()
+
+    def scale_name(self) -> str:
+        """The preset name these settings correspond to, or ``"custom"``.
+
+        The base ``seed`` is ignored in the comparison, so a preset with an
+        overridden seed (the CLI's ``--seed``) still reports its scale; any
+        other deviation from every registered preset yields ``"custom"``.
+        """
+        for name, factory in SCALE_PRESETS.items():
+            if replace(factory(), seed=self.seed) == self:
+                return name
+        return "custom"
+
+    def settings_hash(self) -> str:
+        """A stable hex digest identifying these settings (for run manifests).
+
+        The digest covers every field, including the nested cluster
+        configuration, via a canonical JSON encoding -- two settings objects
+        hash equal iff they would drive experiments identically.
+        """
+        payload = json.dumps(asdict(self), sort_keys=True, default=repr)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
     # ------------------------------------------------------------------
     def with_cluster(self, cluster: ClusterConfig) -> "ExperimentSettings":
@@ -140,6 +166,17 @@ class ExperimentSettings:
     def class3_separation_ms(self, timeout_ms: float) -> float:
         """Separation between class-3 executions (grows with the timeout)."""
         return max(10.0, 2.0 * timeout_ms)
+
+
+#: Registered scale presets, in increasing-cost order.  The CLI builds its
+#: ``--scale`` choices from this table and :meth:`ExperimentSettings.from_scale`
+#: resolves names through it, so registering an extra preset here (tests do)
+#: is all it takes to make a new scale selectable everywhere.
+SCALE_PRESETS: Dict[str, Callable[[], ExperimentSettings]] = {
+    "smoke": ExperimentSettings.smoke,
+    "quick": ExperimentSettings.quick,
+    "full": ExperimentSettings.full,
+}
 
 
 def scaled_timeouts(

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.san.analytic import AnalyticSolver
 from repro.san.marking import Marking
@@ -48,7 +48,8 @@ from repro.sanmodels.exponential import (
     exponential_unicast_burst_model,
 )
 from repro.sanmodels.fd_model import FDModelSettings, suspect_place
-from repro.experiments.runner import ReplicationPlan, ResultCache, SweepPoint, iter_plan
+from repro.experiments.registry import ExperimentContext, ExperimentSpec, register
+from repro.experiments.runner import ReplicationPlan, SweepPoint
 from repro.experiments.settings import ExperimentSettings
 
 #: Confidence level of the agreement check (the cross-validation contract:
@@ -298,19 +299,26 @@ def solver_compare_plan(settings: ExperimentSettings) -> ReplicationPlan:
     return ReplicationPlan(settings=settings, points=tuple(points), name="solvercompare")
 
 
+def aggregate_solver_compare(
+    settings: ExperimentSettings,
+    pairs: Iterable[Tuple[SweepPoint, Any]],
+) -> SolverCompareResult:
+    """Assemble the comparison result from streamed point results."""
+    result = SolverCompareResult()
+    for _point, point in pairs:
+        result.points[point.key] = point
+    return result
+
+
 def run_solver_compare(
     settings: ExperimentSettings | None = None,
     jobs: Optional[int] = 1,
     cache_dir: Optional[str] = None,
 ) -> SolverCompareResult:
     """Run the comparison sweep."""
-    settings = settings or ExperimentSettings.from_environment()
-    plan = solver_compare_plan(settings)
-    cache = ResultCache(cache_dir) if cache_dir else None
-    result = SolverCompareResult()
-    for _point, point in iter_plan(plan, jobs=jobs, cache=cache):
-        result.points[point.key] = point
-    return result
+    context = ExperimentContext.create(settings, jobs=jobs, cache_dir=cache_dir)
+    plan = solver_compare_plan(context.settings)
+    return aggregate_solver_compare(context.settings, context.iter(plan))
 
 
 def format_solver_compare(result: SolverCompareResult) -> str:
@@ -354,3 +362,86 @@ def format_solver_compare(result: SolverCompareResult) -> str:
             f"({point.replications} replications) -- {point.speedup:.0f}x]"
         )
     return "\n".join(lines)
+
+
+def solver_compare_record(result: SolverCompareResult) -> Dict[str, Any]:
+    """The JSON artifact data of the solver comparison."""
+    models = []
+    for spec in COMPARE_MODELS:
+        if spec.key not in result.points:
+            continue
+        point = result.points[spec.key]
+        models.append(
+            {
+                "key": point.key,
+                "description": point.description,
+                "n_states": point.n_states,
+                "replications": point.replications,
+                "analytic_seconds": point.analytic_seconds,
+                "simulative_seconds": point.simulative_seconds,
+                "speedup": point.speedup,
+                "all_within_ci": point.all_within_ci,
+                "rewards": [
+                    {
+                        "reward": comparison.reward,
+                        "analytic": comparison.analytic,
+                        "simulative_mean": comparison.simulative_mean,
+                        "ci_half_width": comparison.ci_half_width,
+                        "within_ci": comparison.within_ci,
+                        "sample_size": comparison.sample_size,
+                    }
+                    for comparison in point.rewards
+                ],
+            }
+        )
+    return {
+        "confidence": COMPARISON_CONFIDENCE,
+        "models": models,
+        "all_within_ci": result.all_within_ci,
+    }
+
+
+def solver_compare_rows(result: SolverCompareResult):
+    """The CSV series of the solver comparison: one row per reward."""
+    header = [
+        "model",
+        "reward",
+        "analytic",
+        "simulative_mean",
+        "ci_half_width",
+        "within_ci",
+        "sample_size",
+        "n_states",
+    ]
+    rows = []
+    for spec in COMPARE_MODELS:
+        if spec.key not in result.points:
+            continue
+        point = result.points[spec.key]
+        for comparison in point.rewards:
+            rows.append(
+                [
+                    point.key,
+                    comparison.reward,
+                    comparison.analytic,
+                    comparison.simulative_mean,
+                    comparison.ci_half_width,
+                    comparison.within_ci,
+                    comparison.sample_size,
+                    point.n_states,
+                ]
+            )
+    return header, rows
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="solvercompare",
+        description="Solver cross-validation: analytic (exact CTMC) vs simulative",
+        build_plan=solver_compare_plan,
+        aggregate=aggregate_solver_compare,
+        render_text=format_solver_compare,
+        to_record=solver_compare_record,
+        to_rows=solver_compare_rows,
+    )
+)

@@ -17,12 +17,13 @@ contention).  Measurements cover n = 3..11; SAN simulations cover n = 3 and
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.scenarios import Scenario
 from repro.core.simulation import SimulationConfig, SimulationRunner
 from repro.experiments.figure7 import measure_latencies
-from repro.experiments.runner import ReplicationPlan, ResultCache, SweepPoint, iter_plan
+from repro.experiments.registry import ExperimentContext, ExperimentSpec, register
+from repro.experiments.runner import ReplicationPlan, SweepPoint
 from repro.experiments.settings import ExperimentSettings
 from repro.sanmodels.parameters import SANParameters
 
@@ -135,23 +136,17 @@ def table1_plan(
     return ReplicationPlan(settings=settings, points=tuple(points), name="table1")
 
 
-def run_table1(
-    settings: ExperimentSettings | None = None,
-    parameters: Optional[SANParameters] = None,
-    jobs: Optional[int] = 1,
-    cache_dir: Optional[str] = None,
+def aggregate_table1(
+    settings: ExperimentSettings,
+    pairs: Iterable[Tuple[SweepPoint, Any]],
 ) -> Table1Result:
-    """Regenerate Table 1 (measurements and SAN simulations)."""
-    settings = settings or ExperimentSettings.from_environment()
+    """Assemble the Table 1 result, routing cells by point function."""
     result = Table1Result(
         measured_process_counts=settings.measured_process_counts,
         simulated_process_counts=settings.simulated_process_counts,
     )
-    parameters = parameters or SANParameters()
-    plan = table1_plan(settings, parameters)
-    cache = ResultCache(cache_dir) if cache_dir else None
     label_by_scenario = {scenario: label for label, scenario in SCENARIOS}
-    for point, mean in iter_plan(plan, jobs=jobs, cache=cache):
+    for point, mean in pairs:
         kwargs = dict(point.kwargs)
         cell = (label_by_scenario[kwargs["scenario"]], kwargs["n_processes"])
         if point.func is _table1_measured_point:
@@ -159,6 +154,23 @@ def run_table1(
         else:
             result.simulated[cell] = mean
     return result
+
+
+def _default_table1_plan(settings: ExperimentSettings) -> ReplicationPlan:
+    """The registry's plan: the default SAN parameters."""
+    return table1_plan(settings, SANParameters())
+
+
+def run_table1(
+    settings: ExperimentSettings | None = None,
+    parameters: Optional[SANParameters] = None,
+    jobs: Optional[int] = 1,
+    cache_dir: Optional[str] = None,
+) -> Table1Result:
+    """Regenerate Table 1 (measurements and SAN simulations)."""
+    context = ExperimentContext.create(settings, jobs=jobs, cache_dir=cache_dir)
+    plan = table1_plan(context.settings, parameters or SANParameters())
+    return aggregate_table1(context.settings, context.iter(plan))
 
 
 def format_table1(result: Table1Result) -> str:
@@ -176,3 +188,52 @@ def format_table1(result: Table1Result) -> str:
         )
         lines.append(f"{label:<20}{rendered}")
     return "\n".join(lines)
+
+
+def table1_record(result: Table1Result) -> Dict[str, Any]:
+    """The JSON artifact data of Table 1."""
+    cells = []
+    for label, _scenario in SCENARIOS:
+        for n in result.measured_process_counts:
+            cells.append(
+                {
+                    "scenario": label,
+                    "n_processes": n,
+                    "measured_ms": result.measured.get((label, n)),
+                    "simulated_ms": result.simulated.get((label, n)),
+                }
+            )
+    return {
+        "measured_process_counts": list(result.measured_process_counts),
+        "simulated_process_counts": list(result.simulated_process_counts),
+        "cells": cells,
+    }
+
+
+def table1_rows(result: Table1Result):
+    """The CSV series of Table 1: one row per (scenario, n) cell."""
+    header = ["scenario", "n_processes", "measured_ms", "simulated_ms"]
+    rows = [
+        [
+            label,
+            n,
+            result.measured.get((label, n)),
+            result.simulated.get((label, n)),
+        ]
+        for label, _scenario in SCENARIOS
+        for n in result.measured_process_counts
+    ]
+    return header, rows
+
+
+SPEC = register(
+    ExperimentSpec(
+        name="table1",
+        description="Table 1: latency under crash scenarios, measured and simulated",
+        build_plan=_default_table1_plan,
+        aggregate=aggregate_table1,
+        render_text=format_table1,
+        to_record=table1_record,
+        to_rows=table1_rows,
+    )
+)

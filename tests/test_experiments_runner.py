@@ -187,3 +187,33 @@ def test_cached_points_are_not_resubmitted_to_the_pool(settings, tmp_path):
     # deliver the results in plan order.
     results = execute_plan(plan, jobs=3, cache_dir=str(tmp_path))
     assert [tag for tag, _seed in results] == ["a", "b", "c", "d"]
+
+
+# ----------------------------------------------------------------------
+# Point-level timing hooks
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("jobs", [1, 3])
+def test_timing_hook_fires_once_per_point_in_plan_order(settings, jobs):
+    plan = _plan(settings)
+    seen = []
+    for point, _result in iter_plan(
+        plan, jobs=jobs, timing_hook=lambda p, s, c: seen.append((p.label, s, c))
+    ):
+        pass
+    assert [label for label, _s, _c in seen] == [p.label for p in plan.points]
+    assert all(seconds >= 0 for _label, seconds, _c in seen)
+    assert not any(cached for _label, _s, cached in seen)
+
+
+def test_timing_hook_marks_cache_hits(settings, tmp_path):
+    plan = _plan(settings)
+    cache = ResultCache(str(tmp_path))
+    list(iter_plan(plan, jobs=1, cache=cache))
+    seen = []
+    list(
+        iter_plan(
+            plan, jobs=1, cache=cache, timing_hook=lambda p, s, c: seen.append((s, c))
+        )
+    )
+    assert len(seen) == len(plan.points)
+    assert all(cached and seconds == 0.0 for seconds, cached in seen)

@@ -4,8 +4,14 @@ from __future__ import annotations
 
 import pytest
 
+from dataclasses import replace
+
 from repro.cluster.config import ClusterConfig
-from repro.experiments.settings import ExperimentSettings, scaled_timeouts
+from repro.experiments.settings import (
+    SCALE_PRESETS,
+    ExperimentSettings,
+    scaled_timeouts,
+)
 
 
 def test_presets_are_ordered_by_scale():
@@ -60,3 +66,19 @@ def test_scaled_timeouts_clips_small_timeouts_for_large_clusters():
     assert scaled_timeouts(timeouts, 5) == timeouts
     assert scaled_timeouts(timeouts, 9) == (2.0, 10.0, 100.0)
     assert scaled_timeouts(timeouts, 11, max_for_large_n=50.0) == (2.0, 10.0)
+
+
+def test_settings_hash_is_stable_and_field_sensitive():
+    settings = ExperimentSettings()
+    assert settings.settings_hash() == ExperimentSettings().settings_hash()
+    assert settings.settings_hash() != replace(settings, executions=301).settings_hash()
+    assert settings.settings_hash() != replace(settings, seed=settings.seed + 1).settings_hash()
+    # Nested cluster configuration is covered too.
+    reclustered = settings.with_cluster(ClusterConfig(message_size_bytes=256))
+    assert settings.settings_hash() != reclustered.settings_hash()
+
+
+def test_scale_names_round_trip_through_the_preset_table():
+    for name, factory in SCALE_PRESETS.items():
+        assert factory().scale_name() == name
+        assert ExperimentSettings.from_scale(name) == factory()
