@@ -5,6 +5,11 @@ controlled by the ``REPRO_EXPERIMENT_SCALE`` environment variable
 (``smoke`` -- the default here, so that ``pytest benchmarks/`` stays fast --
 ``quick`` or ``full``); the benchmark bodies print the regenerated rows so
 the run doubles as a report.
+
+All benchmark helpers live in the installed :mod:`repro.benchmarking`
+module (no imports through the repository root's implicit ``sys.path``
+entry), and collection refuses to pick up stale ``__pycache__`` directories
+as test packages -- both bit us before.
 """
 
 from __future__ import annotations
@@ -13,6 +18,8 @@ import pytest
 
 from repro.experiments.settings import ExperimentSettings
 
+collect_ignore_glob = ["__pycache__/*"]
+
 
 @pytest.fixture(scope="session")
 def settings() -> ExperimentSettings:
@@ -20,6 +27,12 @@ def settings() -> ExperimentSettings:
     return ExperimentSettings.from_environment(default="smoke")
 
 
-def run_once(benchmark, function, *args, **kwargs):
-    """Run ``function`` exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+def pytest_collection_modifyitems(items):
+    """Fail loudly if bytecode caches ever get collected as test modules."""
+    polluted = sorted(
+        str(item.fspath) for item in items if "__pycache__" in str(item.fspath)
+    )
+    assert not polluted, (
+        "collected test modules from __pycache__ directories: "
+        + ", ".join(polluted)
+    )

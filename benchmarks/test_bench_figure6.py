@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from benchmarks.conftest import run_once
+from repro.benchmarking import run_once
 from repro.experiments.figure6 import format_figure6, run_figure6
 
 

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from benchmarks.conftest import run_once
+from repro.benchmarking import run_once
 from repro.experiments.figure7 import (
     format_latency_means,
     run_figure7a,

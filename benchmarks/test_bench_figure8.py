@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import math
 
-from benchmarks.conftest import run_once
+from repro.benchmarking import run_once
 from repro.experiments.figure8 import format_figure8, run_figure8
 
 

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from benchmarks.conftest import run_once
+from repro.benchmarking import run_once
 from repro.experiments.figure8 import run_figure8
 from repro.experiments.figure9 import format_figure9, run_figure9
 

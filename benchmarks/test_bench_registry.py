@@ -8,7 +8,7 @@ JSON envelope (schema-validated on construction), CSV series, manifest.
 
 from __future__ import annotations
 
-from benchmarks.conftest import run_once
+from repro.benchmarking import run_once
 from repro.experiments import registry
 from repro.experiments.artifacts import write_experiment_artifacts
 

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from benchmarks.conftest import run_once
+from repro.benchmarking import run_once
 from repro.experiments.table1 import format_table1, run_table1
 
 

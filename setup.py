@@ -29,5 +29,16 @@ setup(
     packages=find_packages("src"),
     python_requires=">=3.10",
     install_requires=["numpy", "scipy"],
+    extras_require={
+        # One shared install step for CI jobs: `pip install -e .[test]`.
+        "test": [
+            "pytest",
+            "hypothesis",
+            "pytest-benchmark",
+            "pytest-cov",
+            "pytest-randomly",
+        ],
+        "bench": ["pytest", "pytest-benchmark"],
+    },
     entry_points={"console_scripts": ["repro = repro.cli:main"]},
 )

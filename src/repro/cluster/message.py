@@ -21,9 +21,14 @@ BROADCAST = -1
 _message_counter = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A single application or failure-detector message.
+
+    Slotted: the measurement experiments create one instance per unicast
+    copy (plus fault-injected duplicates), so the per-instance ``__dict__``
+    of a regular class is measurable allocation churn in the figure-6..9
+    sweeps.
 
     Attributes
     ----------

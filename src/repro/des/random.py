@@ -9,6 +9,7 @@ spawning, which guarantees statistical independence between streams.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Dict, Iterator, Optional
 
 import numpy as np
@@ -60,13 +61,14 @@ class RandomStreams:
         The same name always maps to the same generator object, so
         successive calls share state (as desired: a stream is a sequence).
         """
-        if name not in self._streams:
+        stream = self._streams.get(name)
+        if stream is None:
             child = np.random.SeedSequence(
                 entropy=self._master.entropy,
                 spawn_key=tuple(self._master.spawn_key) + (_stable_hash(name),),
             )
-            self._streams[name] = np.random.default_rng(child)
-        return self._streams[name]
+            stream = self._streams[name] = np.random.default_rng(child)
+        return stream
 
     def __contains__(self, name: str) -> bool:
         return name in self._streams
@@ -97,11 +99,14 @@ class RandomStreams:
         return RandomStreams._from_sequence(child, seed=self._seed)
 
 
+@lru_cache(maxsize=None)
 def _stable_hash(name: str) -> int:
     """A deterministic (process-independent) 63-bit hash of ``name``.
 
     Python's built-in ``hash`` of strings is salted per process, which would
     destroy reproducibility across runs, so we use a small FNV-1a variant.
+    Stream names recur on every replication (one simulator per replication,
+    same activity names), so the hash is memoised process-wide.
     """
     value = 0xCBF29CE484222325
     for byte in name.encode("utf-8"):

@@ -4,6 +4,16 @@ The :class:`Simulator` owns a virtual clock and a priority queue of
 :class:`~repro.des.event.Event` objects.  Time only advances when the next
 event is dequeued; callbacks run instantaneously in virtual time and may
 schedule further events.
+
+Calendar representation
+-----------------------
+The heap holds ``(time, priority, seq, event)`` tuples rather than bare
+:class:`Event` objects: tuple comparison happens entirely in C, so the
+``heappush``/``heappop`` traffic of the hot loop never calls back into
+``Event.__lt__``.  The ordering is identical (time, then priority, then the
+monotonically increasing sequence number).  Cancellation stays O(1): a
+cancelled event is only marked, and its heap entry is discarded lazily when
+it reaches the front of the queue.
 """
 
 from __future__ import annotations
@@ -11,7 +21,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Optional
 
-from repro.des.event import Event
+from repro.des.event import Event, EventState
 from repro.des.random import RandomStreams
 
 
@@ -35,7 +45,7 @@ class Simulator:
 
     def __init__(self, seed: Optional[int] = None, time_unit: str = "ms") -> None:
         self._now = 0.0
-        self._queue: list[Event] = []
+        self._queue: list[tuple[float, int, int, Event]] = []
         self._seq = 0
         self._running = False
         self._stopped = False
@@ -96,7 +106,9 @@ class Simulator:
         event = Event(time, priority, self._seq, callback, args)
         event.on_cancel = self._note_cancelled
         self._seq += 1
-        heapq.heappush(self._queue, event)
+        heapq.heappush(
+            self._queue, (event.time, event.priority, event.seq, event)
+        )
         self._live_events += 1
         return event
 
@@ -122,7 +134,7 @@ class Simulator:
         self._discard_cancelled()
         if not self._queue:
             return None
-        return self._queue[0].time
+        return self._queue[0][0]
 
     def step(self) -> bool:
         """Execute the next pending event.
@@ -136,9 +148,9 @@ class Simulator:
         self._discard_cancelled()
         if not self._queue:
             return False
-        event = heapq.heappop(self._queue)
+        event = heapq.heappop(self._queue)[3]
         self._now = event.time
-        event.state = event.state.__class__.FIRED
+        event.state = EventState.FIRED
         self._live_events -= 1
         self._events_processed += 1
         for hook in self._trace_hooks:
@@ -173,21 +185,35 @@ class Simulator:
         self._running = True
         self._stopped = False
         executed = 0
+        # The loop below is `while peek(): step()` flattened into one body:
+        # local aliases and direct tuple access keep the per-event overhead
+        # down to a heappop and the callback itself.
+        queue = self._queue
+        hooks = self._trace_hooks
+        heappop = heapq.heappop
+        pending = EventState.PENDING
+        fired = EventState.FIRED
         try:
             while not self._stopped:
                 if max_events is not None and executed >= max_events:
                     break
-                next_time = self.peek()
-                if next_time is None:
+                while queue and queue[0][3].state is not pending:
+                    heappop(queue)
+                if not queue:
                     break
-                if until is not None and next_time > until:
+                if until is not None and queue[0][0] > until:
                     self._now = until
                     break
-                self.step()
+                event = heappop(queue)[3]
+                self._now = event.time
+                event.state = fired
+                self._live_events -= 1
+                self._events_processed += 1
+                if hooks:
+                    for hook in hooks:
+                        hook(event)
+                event.callback(*event.args)
                 executed += 1
-            else:
-                # Stopped via stop(): leave the clock where it is.
-                pass
             if until is not None and not self._stopped and self.peek() is None:
                 self._now = max(self._now, until)
         finally:
@@ -210,11 +236,11 @@ class Simulator:
         The random streams are *not* reset; create a new simulator for a
         statistically independent replication.
         """
-        for event in self._queue:
+        for _time, _priority, _seq, event in self._queue:
             # Mark the discarded events cancelled directly (bypassing
             # Event.cancel and its on_cancel hook) so a stale handle
             # cancelled later cannot corrupt the live-event counter.
-            event.state = event.state.__class__.CANCELLED
+            event.state = EventState.CANCELLED
         self._queue.clear()
         self._now = 0.0
         self._seq = 0
@@ -230,8 +256,9 @@ class Simulator:
         self._live_events -= 1
 
     def _discard_cancelled(self) -> None:
-        while self._queue and not self._queue[0].pending:
-            heapq.heappop(self._queue)
+        queue = self._queue
+        while queue and queue[0][3].state is not EventState.PENDING:
+            heapq.heappop(queue)
 
     def __repr__(self) -> str:
         return (

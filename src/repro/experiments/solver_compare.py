@@ -256,6 +256,9 @@ def _solver_compare_point(
         max_time=spec.max_time,
         seed=point_seed,
         confidence=COMPARISON_CONFIDENCE,
+        # All comparison models come from repro.sanmodels builders, which
+        # produce stateless models safe to share across replications.
+        reuse_model=True,
     )
     simulative_result = simulative.solve(replications=replications)
     simulative_seconds = time.perf_counter() - started

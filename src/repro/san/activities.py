@@ -137,9 +137,19 @@ class Activity:
 
     def enabled(self, marking: Marking) -> bool:
         """SAN enabling rule: all input arcs satisfied and all gates true."""
-        for place, weight in self.input_arcs:
-            if marking[place] < weight:
-                return False
+        # Hottest call in the executor: read the token dict directly when
+        # given a plain Marking (arc places are stored as strings), falling
+        # back to the mapping interface for frozen markings and views.
+        tokens = getattr(marking, "_tokens", None)
+        if tokens is not None:
+            get = tokens.get
+            for place, weight in self.input_arcs:
+                if get(place, 0) < weight:
+                    return False
+        else:
+            for place, weight in self.input_arcs:
+                if marking[place] < weight:
+                    return False
         for gate in self.input_gates:
             if not gate.enabled(marking):
                 return False

@@ -22,7 +22,9 @@ PlaceRef = Union[str, Place]
 
 
 def _name(place: PlaceRef) -> str:
-    return place.name if isinstance(place, Place) else place
+    # Hot path: marking lookups happen on every enabling check, and almost
+    # all callers pass plain strings, so test for that first.
+    return place if isinstance(place, str) else place.name
 
 
 class Marking:
@@ -46,10 +48,12 @@ class Marking:
 
     # ------------------------------------------------------------------
     def __getitem__(self, place: PlaceRef) -> int:
-        return self._tokens.get(_name(place), 0)
+        return self._tokens.get(
+            place if isinstance(place, str) else place.name, 0
+        )
 
     def __setitem__(self, place: PlaceRef, count: int) -> None:
-        name = _name(place)
+        name = place if isinstance(place, str) else place.name
         count = int(count)
         if count < 0:
             raise ValueError(
@@ -92,8 +96,14 @@ class Marking:
     __hash__ = None  # type: ignore[assignment]
 
     def freeze(self) -> "FrozenMarking":
-        """An immutable, hashable snapshot of this marking."""
-        return FrozenMarking(self._tokens)
+        """An immutable, hashable snapshot of this marking.
+
+        Markings already guarantee non-negative integer counts, so the
+        snapshot skips :class:`FrozenMarking`'s per-item validation -- the
+        state-space explorer freezes a marking per reachable state and this
+        is its hot path.
+        """
+        return FrozenMarking._from_clean_tokens(self._tokens)
 
     # ------------------------------------------------------------------
     def add(self, place: PlaceRef, count: int = 1) -> None:
@@ -114,8 +124,19 @@ class Marking:
         return self[place] >= count
 
     def copy(self) -> "Marking":
-        """An independent copy of this marking."""
-        return Marking(dict(self._tokens))
+        """An independent copy of this marking.
+
+        The source marking already enforces the non-negative-integer
+        invariant, so the copy clones the token dict directly instead of
+        replaying every assignment through ``__setitem__``.  The copy
+        starts with an *empty* change journal (a copy has not changed
+        anything yet); the executor clears the journal at the start of a
+        run anyway, so the two representations are interchangeable there.
+        """
+        clone = Marking.__new__(Marking)
+        clone._tokens = dict(self._tokens)
+        clone._changed = set()
+        return clone
 
     def as_dict(self, drop_zeros: bool = False) -> Dict[str, int]:
         """The marking as a plain dictionary."""
@@ -143,7 +164,7 @@ class FrozenMarking:
     that only *read* the marking be evaluated directly on a frozen state.
     """
 
-    __slots__ = ("_items", "_hash")
+    __slots__ = ("_items", "_hash", "_lookup")
 
     def __init__(self, tokens: Mapping[str, int] | None = None) -> None:
         items = []
@@ -157,18 +178,38 @@ class FrozenMarking:
                 items.append((str(name), count))
         self._items: tuple[tuple[str, int], ...] = tuple(sorted(items))
         self._hash = hash(self._items)
+        self._lookup: Dict[str, int] | None = None
+
+    @classmethod
+    def _from_clean_tokens(cls, tokens: Mapping[str, int]) -> "FrozenMarking":
+        """Freeze counts already known to be non-negative ints.
+
+        Internal fast path for :meth:`Marking.freeze`; skips the per-item
+        coercion/validation of ``__init__`` (the marking enforced it on
+        every write).
+        """
+        frozen = cls.__new__(cls)
+        frozen._items = tuple(sorted(item for item in tokens.items() if item[1]))
+        frozen._hash = hash(frozen._items)
+        frozen._lookup = None
+        return frozen
 
     # ------------------------------------------------------------------
     def __getitem__(self, place: PlaceRef) -> int:
-        name = _name(place)
-        for item_name, count in self._items:
-            if item_name == name:
-                return count
-        return 0
+        # Built lazily: most frozen markings are pure state keys (hashed and
+        # compared, never indexed); the ones gate predicates and reward
+        # functions do read are read many times, so the first read builds a
+        # dict and later reads are O(1).
+        lookup = self._lookup
+        if lookup is None:
+            lookup = self._lookup = dict(self._items)
+        return lookup.get(_name(place), 0)
 
     def __contains__(self, place: PlaceRef) -> bool:
-        name = _name(place)
-        return any(item_name == name for item_name, _ in self._items)
+        lookup = self._lookup
+        if lookup is None:
+            lookup = self._lookup = dict(self._items)
+        return _name(place) in lookup
 
     def __iter__(self) -> Iterator[str]:
         return iter(name for name, _ in self._items)

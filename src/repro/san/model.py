@@ -41,6 +41,11 @@ class SANModel:
         self.name = name
         self._places: Dict[str, Place] = {}
         self._activities: Dict[str, Activity] = {}
+        #: Bumped on every structural change; lets per-model caches (the
+        #: executor's dependency index, memoised validation) detect
+        #: staleness without hashing the whole structure.
+        self._version = 0
+        self._validated_version: int | None = None
         for place in places:
             self.add_place(place)
         for activity in activities:
@@ -60,6 +65,7 @@ class SANModel:
                 )
             return existing
         self._places[place.name] = place
+        self._version += 1
         return place
 
     def place(self, name: str, initial: int = 0) -> Place:
@@ -84,6 +90,7 @@ class SANModel:
             )
         place = Place(name, initial)
         self._places[name] = place
+        self._version += 1
         return place
 
     def add_activity(self, activity: Activity) -> Activity:
@@ -93,6 +100,7 @@ class SANModel:
                 f"model {self.name!r}: duplicate activity name {activity.name!r}"
             )
         self._activities[activity.name] = activity
+        self._version += 1
         return activity
 
     # ------------------------------------------------------------------
@@ -137,13 +145,25 @@ class SANModel:
     # ------------------------------------------------------------------
     # Validation and initial marking
     # ------------------------------------------------------------------
+    @property
+    def structure_version(self) -> int:
+        """Monotone counter of structural changes (places/activities added)."""
+        return self._version
+
     def validate(self) -> None:
         """Check that every arc refers to a declared place.
 
         Gates are opaque Python callables, so references inside gate bodies
         cannot be validated statically; arcs can, and modeling errors most
         often show up there.
+
+        Validation is memoised per :attr:`structure_version`: solvers that
+        reuse a model across many replications construct one executor per
+        replication, and each construction validates -- rechecking an
+        unchanged structure would be pure overhead.
         """
+        if self._validated_version == self._version:
+            return
         for activity in self._activities.values():
             for place, _weight in activity.input_arcs:
                 if place not in self._places:
@@ -158,6 +178,7 @@ class SANModel:
                             f"model {self.name!r}: activity {activity.name!r} has an "
                             f"output arc to undeclared place {place!r}"
                         )
+        self._validated_version = self._version
 
     def initial_marking(self) -> Marking:
         """The initial marking declared by the places."""

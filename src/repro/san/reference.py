@@ -1,0 +1,68 @@
+"""A deliberately unoptimized reference executor.
+
+:class:`ReferenceExecutor` executes a SAN with the same semantics as
+:class:`~repro.san.executor.SANExecutor` but with every performance
+shortcut disabled:
+
+* after every completion it re-evaluates **all** activities instead of
+  consulting the place-to-activity dependency index;
+* durations are drawn one at a time (no batched numpy draws).
+
+It exists to pin the optimized executor down: the golden-trace tests run
+both implementations and require identical trajectories, the property
+tests check that the dependency index covers every enablement flip the
+full re-evaluation would see, and the consensus benchmark reports the
+optimized executor's speedup over this baseline.
+
+Equivalence caveat: within one refresh pass the *set* of scheduling
+decisions is identical, but the reference walks the activities in model
+definition order while the optimized executor walks the affected subset in
+its deterministic (conservative-first, then sorted-changed-place) order.
+Two timed activities completing at exactly the same instant can therefore
+fire in a different relative order.  The models used for exact-trace
+comparison have continuous duration distributions (ties have probability
+zero); for models with equal constant durations the comparison holds at
+the level of reward values rather than event interleavings.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Set
+
+from repro.san.activities import TimedActivity
+from repro.san.executor import SANExecutor
+from repro.san.marking import Marking
+from repro.san.model import SANModel
+
+
+class ReferenceExecutor(SANExecutor):
+    """Full-re-evaluation twin of :class:`~repro.san.executor.SANExecutor`."""
+
+    def _affected_timed(self, changed: Set[str]) -> List[TimedActivity]:
+        return list(self._timed)
+
+    def _affected_instantaneous(self, changed: Set[str]) -> Set[str]:
+        return set(self._inst_order)
+
+    def _make_duration_sampler(
+        self, activity: TimedActivity
+    ) -> Callable[[Marking], float]:
+        rng = self.sim.random.stream(f"san.duration.{activity.name}")
+
+        def sampler(marking: Marking) -> float:
+            return activity.sample_duration(marking, rng)
+
+        return sampler
+
+
+def enabled_activity_names(model: SANModel, marking: Marking) -> Set[str]:
+    """Brute-force enablement: every activity checked against ``marking``.
+
+    The reference the property tests compare the executor's incremental
+    bookkeeping against.
+    """
+    return {
+        activity.name
+        for activity in model.activities
+        if activity.enabled(marking)
+    }

@@ -136,6 +136,19 @@ class SimulativeSolver:
         it, so results are reproducible and replications are independent.
     confidence:
         Confidence level for the reported intervals (paper: 0.90).
+    reuse_model:
+        Build the model once (per process) and execute every replication
+        against the same instance instead of calling ``model_factory`` per
+        replication.  The executor never mutates the model (it copies the
+        initial marking and keeps all run state on itself), so this is
+        bit-identical for any factory whose models are *stateless*: no
+        mutable state captured in gate closures or marking-dependent
+        distributions.  Every builder in :mod:`repro.sanmodels` qualifies,
+        and for the generated consensus models the build is a large share
+        of a replication's cost.  Leave ``False`` for factories with
+        stateful gates.  The cached model never crosses process boundaries
+        (it is dropped on pickling), so ``jobs > 1`` still works with
+        factories whose *models* are unpicklable.
     """
 
     def __init__(
@@ -147,6 +160,8 @@ class SimulativeSolver:
         seed: Optional[int] = 0,
         confidence: float = 0.90,
         initial_marking_factory: Optional[Callable[[SANModel], Marking]] = None,
+        reuse_model: bool = False,
+        executor_class: type = SANExecutor,
     ) -> None:
         self.model_factory = model_factory
         self.reward_factory = reward_factory
@@ -155,22 +170,42 @@ class SimulativeSolver:
         self.seed = seed if seed is not None else 0
         self.confidence = confidence
         self.initial_marking_factory = initial_marking_factory
+        self.reuse_model = reuse_model
+        #: The executor implementation (swappable so tests and benchmarks
+        #: can run the reference executor through the same solver).
+        self.executor_class = executor_class
+        self._cached_model: Optional[SANModel] = None
+
+    def __getstate__(self):
+        # The cached model may hold unpicklable gate closures; workers
+        # rebuild (and re-cache) their own copy from the factory.
+        state = self.__dict__.copy()
+        state["_cached_model"] = None
+        return state
 
     # ------------------------------------------------------------------
+    def _model(self) -> SANModel:
+        """A model for the next replication (cached when ``reuse_model``)."""
+        if not self.reuse_model:
+            return self.model_factory()
+        if self._cached_model is None:
+            self._cached_model = self.model_factory()
+        return self._cached_model
+
     def run_replication(self, index: int) -> ReplicationResult:
         """Run a single replication with its own derived seed."""
         return self._run_with_seed(index, self._replication_seed(index))
 
     def _run_with_seed(self, index: int, seed: int) -> ReplicationResult:
         sim = Simulator(seed=seed)
-        model = self.model_factory()
+        model = self._model()
         rewards = list(self.reward_factory())
         initial = (
             self.initial_marking_factory(model)
             if self.initial_marking_factory is not None
             else None
         )
-        executor = SANExecutor(model, sim, rewards, initial_marking=initial)
+        executor = self.executor_class(model, sim, rewards, initial_marking=initial)
         outcome = executor.run(until=self.max_time, stop_predicate=self.stop_predicate)
         return ReplicationResult(
             replication=index,

@@ -295,6 +295,10 @@ class ConsensusSANExperiment:
             max_time=self.max_time_ms,
             seed=self.seed,
             confidence=self.confidence,
+            # The generated consensus models are stateless (gate closures
+            # only capture place names), so one instance can serve every
+            # replication -- the build is a large share of a replication.
+            reuse_model=True,
         )
 
     def run(

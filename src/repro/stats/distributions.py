@@ -11,6 +11,16 @@ measured end-to-end delay (§5.1): ``U[0.1, 0.13]`` with probability 0.8 and
 Every distribution exposes ``sample(rng)`` (one draw from a numpy
 ``Generator``) plus analytic ``mean()`` and ``variance()`` where they exist,
 so tests can check the sampler against the analytic moments.
+
+Distributions whose draws are a single vectorisable numpy call additionally
+expose ``sample_batch(rng, size)``.  numpy's ``Generator`` methods fill
+arrays from the same bit stream that scalar calls consume, so a batch of
+``size`` values is *bit-identical* to ``size`` successive ``sample`` calls
+(and leaves the generator in the same state) -- which is what lets the SAN
+executor amortise the per-call numpy overhead over a whole batch without
+perturbing fixed-seed results (tested in ``test_stats_distributions``).
+Mixtures draw from two interleaved methods, so they deliberately do not
+offer a batch path.
 """
 
 from __future__ import annotations
@@ -56,6 +66,10 @@ class Constant:
     def sample(self, rng: np.random.Generator) -> float:
         return self.value
 
+    def sample_batch(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """``size`` draws at once (constants consume no randomness)."""
+        return np.full(size, self.value)
+
     def mean(self) -> float:
         return self.value
 
@@ -77,6 +91,10 @@ class Uniform:
     def sample(self, rng: np.random.Generator) -> float:
         return float(rng.uniform(self.low, self.high))
 
+    def sample_batch(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """``size`` draws at once, bit-identical to repeated :meth:`sample`."""
+        return rng.uniform(self.low, self.high, size)
+
     def mean(self) -> float:
         return (self.low + self.high) / 2.0
 
@@ -96,6 +114,10 @@ class Exponential:
 
     def sample(self, rng: np.random.Generator) -> float:
         return float(rng.exponential(self.mean_value))
+
+    def sample_batch(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """``size`` draws at once, bit-identical to repeated :meth:`sample`."""
+        return rng.exponential(self.mean_value, size)
 
     def mean(self) -> float:
         return self.mean_value
@@ -123,6 +145,10 @@ class Weibull:
     def sample(self, rng: np.random.Generator) -> float:
         return float(self.scale * rng.weibull(self.shape))
 
+    def sample_batch(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """``size`` draws at once, bit-identical to repeated :meth:`sample`."""
+        return self.scale * rng.weibull(self.shape, size)
+
     def mean(self) -> float:
         return self.scale * math.gamma(1.0 + 1.0 / self.shape)
 
@@ -146,6 +172,10 @@ class Normal:
     def sample(self, rng: np.random.Generator) -> float:
         return max(0.0, float(rng.normal(self.mu, self.sigma)))
 
+    def sample_batch(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """``size`` draws at once, bit-identical to repeated :meth:`sample`."""
+        return np.maximum(0.0, rng.normal(self.mu, self.sigma, size))
+
     def mean(self) -> float:
         # Approximation ignoring the (small) truncation mass below zero.
         return max(0.0, self.mu)
@@ -167,6 +197,10 @@ class LogNormal:
 
     def sample(self, rng: np.random.Generator) -> float:
         return float(rng.lognormal(self.mu, self.sigma))
+
+    def sample_batch(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """``size`` draws at once, bit-identical to repeated :meth:`sample`."""
+        return rng.lognormal(self.mu, self.sigma, size)
 
     def mean(self) -> float:
         return math.exp(self.mu + self.sigma**2 / 2.0)
@@ -274,6 +308,14 @@ class Shifted:
     def sample(self, rng: np.random.Generator) -> float:
         return self.offset + self.base.sample(rng)
 
+    def sample_batch(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """``size`` draws at once (delegates to the base distribution)."""
+        if not hasattr(self.base, "sample_batch"):
+            raise TypeError(
+                f"base distribution {self.base!r} has no batch sampler"
+            )
+        return self.offset + self.base.sample_batch(rng, size)
+
     def mean(self) -> float:
         return self.offset + self.base.mean()
 
@@ -313,3 +355,17 @@ def distribution_from_spec(spec: Mapping[str, object]) -> Distribution:
             p1=float(spec.get("p1", 0.8)),
         )
     raise ValueError(f"unknown distribution kind: {kind!r}")
+
+
+def supports_batch(dist: object) -> bool:
+    """``True`` if ``dist.sample_batch`` is usable for bit-identical batches.
+
+    Duck-typed on the ``sample_batch`` attribute, with one refinement: a
+    :class:`Shifted` distribution only batches when its base does (its
+    ``sample_batch`` raises ``TypeError`` otherwise).
+    """
+    if not hasattr(dist, "sample_batch"):
+        return False
+    if isinstance(dist, Shifted):
+        return supports_batch(dist.base)
+    return True

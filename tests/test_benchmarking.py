@@ -1,0 +1,198 @@
+"""Tests of the committed performance-baseline machinery."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import benchmarking
+from repro.benchmarking import (
+    BaselineError,
+    calibration_seconds,
+    compare_to_baseline,
+    load_baseline,
+    load_results,
+    main,
+    record_baseline,
+)
+
+
+def _write_results(path, means, calibration_s=0.02):
+    payload = {
+        "benchmarks": [
+            {
+                "fullname": name,
+                "stats": {"mean": mean},
+                "extra_info": {"calibration_s": calibration_s},
+            }
+            for name, mean in means.items()
+        ]
+    }
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+def test_calibration_is_cached_and_positive():
+    first = calibration_seconds()
+    assert first > 0
+    assert calibration_seconds() == first  # cached per process
+
+
+def test_load_results_parses_names_means_and_calibration(tmp_path):
+    results_path = _write_results(tmp_path / "r.json", {"bench::a": 0.4})
+    (result,) = load_results(results_path)
+    assert result.name == "bench::a"
+    assert result.mean_s == 0.4
+    assert result.normalized == pytest.approx(0.4 / 0.02)
+
+
+def test_load_results_rejects_empty_and_malformed_files(tmp_path):
+    empty = tmp_path / "empty.json"
+    empty.write_text(json.dumps({"benchmarks": []}))
+    with pytest.raises(BaselineError):
+        load_results(str(empty))
+    malformed = tmp_path / "malformed.json"
+    malformed.write_text(json.dumps({"benchmarks": [{"stats": {}}]}))
+    with pytest.raises(BaselineError):
+        load_results(str(malformed))
+
+
+def test_record_then_compare_is_clean(tmp_path):
+    results = _write_results(tmp_path / "r.json", {"bench::a": 0.4, "bench::b": 0.1})
+    baseline = tmp_path / "baseline" / "BENCH_test.json"
+    record_baseline(results, str(baseline))
+    loaded = load_baseline(str(baseline))
+    assert set(loaded["benchmarks"]) == {"bench::a", "bench::b"}
+    report = compare_to_baseline(results, str(baseline))
+    assert report.ok
+    assert len(report.compared) == 2
+    assert not report.new_benchmarks and not report.missing_benchmarks
+    assert "ok" in report.render()
+
+
+def test_regression_beyond_tolerance_fails_the_gate(tmp_path):
+    baseline_results = _write_results(tmp_path / "old.json", {"bench::a": 0.4})
+    baseline = str(tmp_path / "BENCH_test.json")
+    record_baseline(baseline_results, baseline)
+
+    slower = _write_results(tmp_path / "new.json", {"bench::a": 0.4 * 1.5})
+    report = compare_to_baseline(slower, baseline)
+    assert not report.ok
+    (regression,) = report.regressions
+    assert regression.ratio == pytest.approx(1.5)
+    assert "REGRESSION" in report.render()
+
+    # Within tolerance: 20% slower passes a 30% gate.
+    slightly = _write_results(tmp_path / "slight.json", {"bench::a": 0.4 * 1.2})
+    assert compare_to_baseline(slightly, baseline).ok
+    # An explicit tighter tolerance turns it into a failure.
+    assert not compare_to_baseline(slightly, baseline, tolerance=0.1).ok
+
+
+def test_normalization_forgives_uniformly_slower_machines(tmp_path):
+    baseline_results = _write_results(
+        tmp_path / "old.json", {"bench::a": 0.4}, calibration_s=0.02
+    )
+    baseline = str(tmp_path / "BENCH_test.json")
+    record_baseline(baseline_results, baseline)
+    # A machine 3x slower overall: raw mean tripled, calibration tripled.
+    slower_machine = _write_results(
+        tmp_path / "new.json", {"bench::a": 1.2}, calibration_s=0.06
+    )
+    assert compare_to_baseline(slower_machine, baseline).ok
+
+
+def test_new_and_missing_benchmarks_are_reported_not_gated(tmp_path):
+    baseline_results = _write_results(
+        tmp_path / "old.json", {"bench::a": 0.4, "bench::gone": 0.2}
+    )
+    baseline = str(tmp_path / "BENCH_test.json")
+    record_baseline(baseline_results, baseline)
+    current = _write_results(
+        tmp_path / "new.json", {"bench::a": 0.4, "bench::fresh": 9.9}
+    )
+    report = compare_to_baseline(current, baseline)
+    assert report.ok
+    assert report.new_benchmarks == ["bench::fresh"]
+    assert report.missing_benchmarks == ["bench::gone"]
+    rendered = report.render()
+    assert "bench::fresh" in rendered and "bench::gone" in rendered
+
+
+def test_load_baseline_rejects_unknown_schema(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"schema": 99, "benchmarks": {}}))
+    with pytest.raises(BaselineError):
+        load_baseline(str(bad))
+    no_table = tmp_path / "no_table.json"
+    no_table.write_text(json.dumps({"schema": 1}))
+    with pytest.raises(BaselineError):
+        load_baseline(str(no_table))
+
+
+def test_cli_record_and_compare_paths(tmp_path, capsys, monkeypatch):
+    results = _write_results(tmp_path / "r.json", {"bench::a": 0.4})
+    baseline = str(tmp_path / "BENCH_test.json")
+    assert main(["record", results, baseline]) == 0
+    assert main(["compare", results, baseline]) == 0
+
+    slower = _write_results(tmp_path / "slow.json", {"bench::a": 1.4})
+    assert main(["compare", slower, baseline]) == 1
+    assert main(["compare", slower, baseline, "--allow-regression"]) == 0
+    monkeypatch.setenv("REPRO_BENCH_ALLOW_REGRESSION", "1")
+    assert main(["compare", slower, baseline]) == 0
+    out = capsys.readouterr().out
+    assert "override active" in out
+
+
+def test_run_once_stamps_calibration_and_respects_rounds(monkeypatch):
+    calls = []
+
+    class FakeBenchmark:
+        def __init__(self):
+            self.extra_info = {}
+
+        def pedantic(self, function, args=(), kwargs=None, rounds=1, iterations=1):
+            calls.append(rounds)
+            return function(*args, **(kwargs or {}))
+
+    monkeypatch.setenv("REPRO_BENCH_ROUNDS", "3")
+    fake = FakeBenchmark()
+    result = benchmarking.run_once(fake, lambda x: x + 1, 41)
+    assert result == 42
+    assert calls == [3]
+    assert fake.extra_info["calibration_s"] > 0
+
+
+def test_load_results_falls_back_to_local_calibration(tmp_path):
+    payload = {"benchmarks": [{"fullname": "bench::x", "stats": {"mean": 0.5}}]}
+    path = tmp_path / "r.json"
+    path.write_text(json.dumps(payload))
+    with pytest.warns(UserWarning):
+        (result,) = load_results(str(path))
+    assert result.calibration_s == calibration_seconds()
+    assert result.normalized > 0
+
+
+def test_empty_comparison_fails_the_gate_even_with_override(tmp_path, monkeypatch):
+    baseline_results = _write_results(tmp_path / "old.json", {"bench::a": 0.4})
+    baseline = str(tmp_path / "BENCH_test.json")
+    record_baseline(baseline_results, baseline)
+    renamed = _write_results(tmp_path / "renamed.json", {"other::a": 0.4})
+    report = compare_to_baseline(renamed, baseline)
+    assert not report.ok and not report.regressions
+    assert main(["compare", renamed, baseline]) == 1
+    # The override must not bless a comparison that never happened.
+    assert main(["compare", renamed, baseline, "--allow-regression"]) == 1
+    monkeypatch.setenv("REPRO_BENCH_ALLOW_REGRESSION", "1")
+    assert main(["compare", renamed, baseline]) == 1
+
+
+def test_missing_calibration_fallback_warns(tmp_path):
+    payload = {"benchmarks": [{"fullname": "bench::x", "stats": {"mean": 0.5}}]}
+    path = tmp_path / "r.json"
+    path.write_text(json.dumps(payload))
+    with pytest.warns(UserWarning, match="no recorded calibration_s"):
+        (result,) = load_results(str(path))
+    assert result.calibration_s == calibration_seconds()

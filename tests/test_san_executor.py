@@ -233,3 +233,38 @@ def test_identical_seeds_reproduce_identical_trajectories():
         )
         end_times.add(_executor(model, seed=42).run().end_time)
     assert len(end_times) == 1
+
+
+def test_batched_sampler_rejects_negative_durations():
+    # Uniform with a negative support is a modeling bug; the batched
+    # duration path must catch it exactly like the scalar path does.
+    model = SANModel("negative")
+    model.add_place(Place("a", 1))
+    model.add_place(Place("b", 0))
+    model.add_activity(
+        TimedActivity(
+            "bad",
+            Uniform(-5.0, -1.0),
+            input_arcs=["a"],
+            cases=[Case.build(output_arcs=["b"])],
+        )
+    )
+    with pytest.raises(ValueError, match="negative duration"):
+        _executor(model).run(until=10.0)
+
+
+def test_model_structure_cache_invalidates_on_structural_change():
+    model = _pipeline_model()
+    first = _executor(model)
+    assert first._timed is SANExecutor._structure(model).timed
+    # Adding an activity bumps the version; a new executor sees it.
+    model.add_place(Place("d", 0))
+    model.add_activity(
+        TimedActivity(
+            "cd", Constant(1.0), input_arcs=["c"], cases=[Case.build(output_arcs=["d"])]
+        )
+    )
+    second = _executor(model)
+    names = {activity.name for activity in second._timed}
+    assert "cd" in names
+    assert second._timed is not first._timed

@@ -65,6 +65,28 @@ GOLDEN_TRACE = [
 GOLDEN_CONSENSUS_LATENCY = 0.6297584631047661
 GOLDEN_CONSENSUS_COMPLETIONS = 40.0
 
+#: The exact *calendar-level* event order of the golden run: every event the
+#: simulator fires, as (time, priority, seq, callback name, activity name).
+#: This pins behaviour one layer below GOLDEN_TRACE: the heap ordering, the
+#: sequence-number assignment (i.e. the order in which the executor walks
+#: activities when scheduling) and the lazy-cancellation discipline.  A
+#: calendar refactor that kept reward values but reordered same-time events
+#: or renumbered schedules shows up here.
+GOLDEN_EVENT_ORDER = [
+    (0.20505617117314784, 0, 0, "_complete_timed", "finish_fast"),
+    (0.8858137979904217, 0, 2, "_complete_timed", "finish_fast"),
+    (0.9550561711731478, 0, 1, "_complete_timed", "audit"),
+    (1.7050561711731478, 0, 4, "_complete_timed", "audit"),
+    (3.265066813556073, 0, 3, "_complete_timed", "finish_fast"),
+    (3.3036904787247083, 0, 5, "_complete_timed", "finish_slow"),
+    (4.015066813556073, 0, 6, "_complete_timed", "audit"),
+    (4.040466983207616, 0, 7, "_complete_timed", "finish_fast"),
+    (4.765066813556073, 0, 8, "_complete_timed", "audit"),
+    (5.461623110616261, 0, 9, "_complete_timed", "finish_slow"),
+    (5.515066813556073, 0, 10, "_complete_timed", "audit"),
+    (5.702150289867818, 0, 11, "_complete_timed", "finish_fast"),
+]
+
 
 def build_golden_model() -> SANModel:
     model = SANModel("golden")
@@ -127,10 +149,12 @@ class TraceRecorder(RewardVariable):
         return float(len(self.events))
 
 
-def run_golden_trace() -> tuple[TraceRecorder, object]:
+def run_golden_trace(
+    executor_class: type = SANExecutor,
+) -> tuple[TraceRecorder, object]:
     sim = Simulator(seed=GOLDEN_SEED)
     recorder = TraceRecorder()
-    executor = SANExecutor(build_golden_model(), sim, rewards=[recorder])
+    executor = executor_class(build_golden_model(), sim, rewards=[recorder])
     outcome = executor.run(until=GOLDEN_HORIZON)
     return recorder, outcome
 
@@ -158,6 +182,47 @@ def test_golden_trace_is_independent_of_a_second_executor_in_scope():
     noise.run(until=3.0)
     recorder, _outcome = run_golden_trace()
     assert recorder.events[3][1] == GOLDEN_TRACE[3][1]
+
+
+def test_golden_event_order_is_reproduced_exactly():
+    # One layer below the completion trace: the DES calendar itself.
+    sim = Simulator(seed=GOLDEN_SEED)
+    fired: list[tuple[float, int, int, str, str]] = []
+
+    def hook(event):
+        activity = (
+            event.args[0].name
+            if event.args and hasattr(event.args[0], "name")
+            else ""
+        )
+        fired.append(
+            (
+                event.time,
+                event.priority,
+                event.seq,
+                getattr(event.callback, "__name__", "?"),
+                activity,
+            )
+        )
+
+    sim.add_trace_hook(hook)
+    executor = SANExecutor(build_golden_model(), sim, rewards=[TraceRecorder()])
+    executor.run(until=GOLDEN_HORIZON)
+    assert fired == GOLDEN_EVENT_ORDER
+
+
+def test_reference_executor_reproduces_golden_trace():
+    # The unoptimized full-re-evaluation executor must walk the exact same
+    # trajectory: the dependency index, batched draws and cached model
+    # structures are pure optimizations, not semantic changes.
+    from repro.san.reference import ReferenceExecutor
+
+    recorder, outcome = run_golden_trace(ReferenceExecutor)
+    assert outcome.completions == len(GOLDEN_TRACE)
+    assert recorder.events == [
+        (activity, time, dict(sorted(marking.items())))
+        for activity, time, marking in GOLDEN_TRACE
+    ]
 
 
 def test_consensus_replication_zero_snapshot():

@@ -1,0 +1,131 @@
+"""Optimized executor vs. reference executor.
+
+The optimized :class:`~repro.san.executor.SANExecutor` earns its speed from
+three shortcuts: the place-to-activity dependency index, per-activity
+batched duration draws, and per-model cached structures.
+:class:`~repro.san.reference.ReferenceExecutor` disables all of them.  These
+tests hold the two to identical behaviour -- exact trajectories on the
+golden model across many seeds, exact reward values on the generated
+consensus model -- and check the dependency index directly: any activity
+whose enablement differs between two markings must be re-evaluated when the
+places on which they differ change.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.des.simulator import Simulator
+from repro.san import SANExecutor
+from repro.san.marking import Marking
+from repro.san.reference import ReferenceExecutor, enabled_activity_names
+from repro.san.solver import SimulativeSolver
+from repro.sanmodels import ConsensusSANExperiment
+from repro.sanmodels.consensus_model import (
+    build_consensus_model,
+    consensus_stop_predicate,
+)
+from tests.test_san_golden_trace import (
+    TraceRecorder,
+    build_golden_model,
+)
+
+#: One shared consensus model for the property tests (read-only use).
+_CONSENSUS_MODEL = build_consensus_model(3)
+_CONSENSUS_PLACES = sorted(place.name for place in _CONSENSUS_MODEL.places)
+_CONSENSUS_EXECUTOR = SANExecutor(_CONSENSUS_MODEL, Simulator(seed=0))
+
+
+def _run_both(seed: int, until: float = 25.0):
+    traces = []
+    for executor_class in (SANExecutor, ReferenceExecutor):
+        sim = Simulator(seed=seed)
+        recorder = TraceRecorder()
+        executor = executor_class(build_golden_model(), sim, rewards=[recorder])
+        outcome = executor.run(until=until)
+        traces.append((recorder.events, outcome))
+    return traces
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=25, deadline=None)
+def test_reference_and_optimized_traces_agree_on_golden_model(seed):
+    (events_a, outcome_a), (events_b, outcome_b) = _run_both(seed)
+    assert events_a == events_b
+    assert outcome_a.completions == outcome_b.completions
+    assert outcome_a.end_time == outcome_b.end_time
+    assert outcome_a.final_marking == outcome_b.final_marking
+
+
+def test_reference_and_optimized_rewards_agree_on_consensus_model():
+    experiment = ConsensusSANExperiment(n_processes=3, seed=7)
+    optimized = experiment.solver()
+    reference = SimulativeSolver(
+        model_factory=experiment.model_factory,
+        reward_factory=experiment.reward_factory,
+        stop_predicate=consensus_stop_predicate,
+        max_time=experiment.max_time_ms,
+        seed=experiment.seed,
+        executor_class=ReferenceExecutor,
+    )
+    for index in range(10):
+        fast = optimized.run_replication(index)
+        slow = reference.run_replication(index)
+        assert fast.rewards == slow.rewards, index
+        assert fast.end_time == slow.end_time, index
+
+
+@given(data=st.data())
+@settings(max_examples=100, deadline=None)
+def test_dependency_index_covers_every_enablement_flip(data):
+    # Draw a base marking and a mutation of it over the consensus model's
+    # places; every activity whose enablement flips between the two must be
+    # in the affected set of the places on which they differ.
+    places = data.draw(
+        st.lists(
+            st.sampled_from(_CONSENSUS_PLACES), min_size=1, max_size=12, unique=True
+        )
+    )
+    base_counts = {
+        place: data.draw(st.integers(min_value=0, max_value=2), label=f"base[{place}]")
+        for place in places
+    }
+    mutated_counts = dict(base_counts)
+    mutated_places = data.draw(
+        st.lists(st.sampled_from(places), min_size=1, max_size=6, unique=True)
+    )
+    for place in mutated_places:
+        mutated_counts[place] = data.draw(
+            st.integers(min_value=0, max_value=3), label=f"mutated[{place}]"
+        )
+
+    base = Marking(base_counts)
+    mutated = Marking(mutated_counts)
+    changed = {
+        place for place in places if base_counts[place] != mutated_counts[place]
+    }
+    affected = _CONSENSUS_EXECUTOR.affected_activity_names(changed)
+
+    flipped = enabled_activity_names(
+        _CONSENSUS_MODEL, base
+    ) ^ enabled_activity_names(_CONSENSUS_MODEL, mutated)
+    missed = flipped - affected
+    assert not missed, (
+        f"activities {sorted(missed)} changed enablement on places "
+        f"{sorted(changed)} but the dependency index would not re-check them"
+    )
+
+
+def test_scheduled_activities_match_brute_force_enablement():
+    # At any pause of the event loop the executor's scheduled set must be
+    # exactly the brute-force-enabled timed activities (tangible marking:
+    # no instantaneous activity still enabled).
+    sim = Simulator(seed=2024)
+    model = build_golden_model()
+    executor = SANExecutor(model, sim)
+    executor.run(until=3.0)
+    timed_names = {activity.name for activity in model.timed_activities}
+    enabled = enabled_activity_names(model, executor.marking)
+    assert enabled <= timed_names  # tangible: no instantaneous enabled
+    assert executor.scheduled_activity_names() == enabled

@@ -135,3 +135,49 @@ def test_nan_filtered_sample_size_is_surfaced():
     ok = _solver().solve(replications=6)
     assert ok.sample_size("latency") == 6
     assert ok.nan_count("latency") == 0
+
+
+# ----------------------------------------------------------------------
+# Model reuse
+# ----------------------------------------------------------------------
+def test_reuse_model_is_bit_identical_to_fresh_factories():
+    fresh = _solver().solve(replications=25)
+    reused = _solver(reuse_model=True).solve(replications=25)
+    assert [rep.rewards for rep in fresh.replications] == [
+        rep.rewards for rep in reused.replications
+    ]
+    assert [rep.end_time for rep in fresh.replications] == [
+        rep.end_time for rep in reused.replications
+    ]
+
+
+def test_reuse_model_builds_the_model_once():
+    calls = []
+
+    def counting_factory():
+        calls.append(1)
+        return _latency_model()
+
+    solver = _solver(model_factory=counting_factory, reuse_model=True)
+    solver.solve(replications=10)
+    assert len(calls) == 1
+
+
+def test_reused_model_is_dropped_on_pickling():
+    import pickle
+
+    solver = _solver(reuse_model=True)
+    solver.run_replication(0)
+    assert solver._cached_model is not None
+    clone = pickle.loads(pickle.dumps(solver))
+    assert clone._cached_model is None
+    # The clone rebuilds its own cache and produces the same results.
+    assert clone.run_replication(3).rewards == solver.run_replication(3).rewards
+
+
+def test_reuse_model_parallel_matches_serial():
+    serial = _solver(reuse_model=True).solve(replications=12, jobs=1)
+    parallel = _solver(reuse_model=True).solve(replications=12, jobs=2)
+    assert [rep.rewards for rep in serial.replications] == [
+        rep.rewards for rep in parallel.replications
+    ]

@@ -165,3 +165,51 @@ def test_exponential_samples_are_nonnegative(mean):
     dist = Exponential(mean)
     rng = np.random.default_rng(0)
     assert all(dist.sample(rng) >= 0.0 for _ in range(50))
+
+
+# ----------------------------------------------------------------------
+# Batched sampling: the contract the SAN executor's batched duration
+# draws rely on -- a batch of n values is bit-identical to n successive
+# scalar draws from the same stream, and leaves the generator in the
+# same state.
+# ----------------------------------------------------------------------
+BATCHABLE = [
+    Constant(0.25),
+    Uniform(0.1, 0.35),
+    Exponential(2.5),
+    Weibull(1.7, 0.4),
+    Normal(1.0, 0.3),
+    LogNormal(0.2, 0.4),
+    Shifted(0.05, Exponential(0.8)),
+    Shifted(0.05, Shifted(0.01, Uniform(0.0, 1.0))),
+]
+
+
+@pytest.mark.parametrize("dist", BATCHABLE, ids=lambda d: repr(d))
+def test_sample_batch_is_bit_identical_to_scalar_draws(dist):
+    from repro.stats.distributions import supports_batch
+
+    assert supports_batch(dist)
+    scalar_rng = np.random.default_rng(4242)
+    batch_rng = np.random.default_rng(4242)
+    singles = [dist.sample(scalar_rng) for _ in range(37)]
+    batch = dist.sample_batch(batch_rng, 37)
+    assert [float(value) for value in batch] == singles
+    assert scalar_rng.bit_generator.state == batch_rng.bit_generator.state
+
+
+def test_supports_batch_rejects_mixtures_and_unbatchable_bases():
+    from repro.stats.distributions import supports_batch
+
+    assert not supports_batch(Mixture([(1.0, Exponential(1.0))]))
+    assert not supports_batch(BimodalUniform())
+    shifted_mixture = Shifted(0.1, BimodalUniform())
+    assert not supports_batch(shifted_mixture)
+    with pytest.raises(TypeError):
+        shifted_mixture.sample_batch(np.random.default_rng(0), 4)
+
+
+def test_normal_sample_batch_truncates_at_zero():
+    dist = Normal(0.0, 1.0)
+    values = dist.sample_batch(np.random.default_rng(7), 64)
+    assert (values >= 0.0).all()
