@@ -21,7 +21,7 @@ def test_figure7a_latency_cdfs_no_failures(benchmark, settings):
         print(f"{n:<4d} {cdf.mean():9.3f}   {cdf.median():11.3f}   {cdf.quantile(0.9):8.3f}")
     means = result.means()
     ns = sorted(means)
-    assert all(means[a] < means[b] for a, b in zip(ns, ns[1:])), "latency must grow with n"
+    assert all(means[a] < means[b] for a, b in zip(ns, ns[1:], strict=False)), "latency must grow with n"
 
 
 def test_figure7b_t_send_calibration(benchmark, settings):
@@ -45,7 +45,7 @@ def test_latency_means_measurement_vs_simulation(benchmark, settings):
     print()
     print("=== §5.2 mean latencies: measurement vs. SAN simulation ===")
     print(format_latency_means(result))
-    for n, measured, simulated in result.rows():
+    for _n, measured, simulated in result.rows():
         assert measured > 0
         if simulated is not None:
             # Measurement and simulation must agree within a factor of two

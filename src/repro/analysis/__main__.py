@@ -1,0 +1,136 @@
+"""CLI: ``python -m repro.analysis [paths...]``.
+
+Exit codes
+----------
+0   no unsuppressed findings
+1   at least one unsuppressed finding (the CI gate)
+2   usage error (bad path, unknown rule code, bad baseline file)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.engine import analyze_paths, load_baseline, write_baseline
+from repro.analysis.report import render_github, render_json, render_text
+from repro.analysis.rules import all_rules
+
+
+def _list_rules() -> str:
+    blocks: List[str] = []
+    for rule in all_rules():
+        scope = ", ".join(rule.scope.include)
+        if rule.scope.exclude:
+            scope += f" (except {', '.join(rule.scope.exclude)})"
+        blocks.append(
+            f"{rule.code} {rule.name} [{rule.severity.value}]\n"
+            f"  scope: {scope}\n"
+            f"  {rule.rationale}"
+        )
+    return "\n\n".join(blocks)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "Determinism and simulation-safety linter. Checks the repo's "
+            "fixed-seed reproducibility invariants (see --list-rules) and "
+            "exits nonzero on any finding not suppressed with a justified "
+            "'# repro: ignore[CODE] <reason>' comment."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests", "benchmarks"],
+        help="files or directories to analyze (default: src tests benchmarks)",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="directory that scope patterns and reported paths are relative to",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "github"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="baseline JSON file; recorded findings do not fail the gate",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record all current findings into --baseline and exit 0",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="include suppressed/baselined findings in text output",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule's code, scope, and rationale, then exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        print(_list_rules())
+        return 0
+    if options.write_baseline and not options.baseline:
+        parser.error("--write-baseline requires --baseline PATH")
+
+    select = None
+    if options.select:
+        select = [code.strip() for code in options.select.split(",") if code.strip()]
+
+    root = Path(options.root)
+    baseline = None
+    try:
+        if options.baseline and not options.write_baseline:
+            baseline = load_baseline(Path(options.baseline))
+        result = analyze_paths(
+            options.paths, root=root, baseline=baseline, select=select
+        )
+    except (FileNotFoundError, KeyError, ValueError) as error:
+        message = error.args[0] if error.args else error
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+
+    if options.write_baseline:
+        recorded = write_baseline(Path(options.baseline), result)
+        print(f"baseline: recorded {recorded} findings to {options.baseline}")
+        return 0
+
+    if options.format == "json":
+        print(render_json(result))
+    elif options.format == "github":
+        output = render_github(result)
+        if output:
+            print(output)
+        print(render_text(result), file=sys.stderr)
+    else:
+        print(render_text(result, show_suppressed=options.show_suppressed))
+    return 1 if result.unsuppressed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

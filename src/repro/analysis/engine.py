@@ -1,0 +1,365 @@
+"""Analysis engine: discovery, scoping, suppressions, and baselines.
+
+One :func:`analyze_paths` call is one analyzer run: discover ``*.py``
+files under the given paths, run every registered rule whose scope
+matches each file, apply inline suppressions, then grandfather any
+findings recorded in a committed baseline.
+
+Suppressions
+------------
+A finding is suppressed by a comment on the *same line* (the first line
+of the flagged expression)::
+
+    order = list(self._streams.values())  # repro: ignore[DET001] insertion order is the draw order contract
+
+The justification text after the bracket is required: a suppression
+without one does not suppress and is itself reported (``SUP001``), as
+is a suppression that matches no finding -- stale ignores rot into
+false documentation otherwise.
+
+Baselines
+---------
+A baseline JSON file records fingerprints of known findings so a new
+rule can land before its full triage is finished.  Fingerprints hash
+the file path, rule code, and stripped source-line text (not the line
+number), so unrelated edits above a finding do not invalidate it.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.analysis.rules import Finding, Rule, Scope, Severity, all_rules
+from repro.analysis.visitor import AnalysisVisitor, FileContext
+
+__all__ = [
+    "PARSE_CODE",
+    "SUPPRESSION_CODE",
+    "Suppression",
+    "AnalysisResult",
+    "analyze_paths",
+    "load_baseline",
+    "write_baseline",
+]
+
+#: Engine-level pseudo-rule codes (not in the registry, never scoped).
+PARSE_CODE = "PARSE001"
+SUPPRESSION_CODE = "SUP001"
+
+#: Directory names never descended into during discovery.  Explicitly
+#: listed *files* are always analyzed, so the rule-fixture corpus under
+#: ``tests/fixtures/`` (deliberate violations) is reachable by tests
+#: while a whole-tree scan of ``tests`` skips it.
+_SKIPPED_DIRECTORIES = frozenset({"__pycache__", "fixtures"})
+
+_SUPPRESSION = re.compile(
+    r"#\s*repro:\s*ignore\[(?P<codes>[^\]]*)\]\s*(?P<reason>.*)$"
+)
+_SUPPRESSION_MARKER = re.compile(r"#\s*repro:\s*ignore\b")
+
+
+@dataclass
+class Suppression:
+    """One parsed ``# repro: ignore[...]`` comment."""
+
+    line: int
+    codes: Tuple[str, ...]
+    reason: str
+    used: bool = False
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one analyzer run produced."""
+
+    root: str
+    files: List[str] = field(default_factory=list)
+    findings: List[Finding] = field(default_factory=list)
+
+    @property
+    def unsuppressed(self) -> List[Finding]:
+        """Findings that fail the gate."""
+        return [finding for finding in self.findings if finding.status == "active"]
+
+    def counts(self) -> Dict[str, int]:
+        """Totals by status, for summary lines."""
+        totals = {"active": 0, "suppressed": 0, "baselined": 0}
+        for finding in self.findings:
+            totals[finding.status] = totals.get(finding.status, 0) + 1
+        return totals
+
+
+# ----------------------------------------------------------------------
+# Discovery
+# ----------------------------------------------------------------------
+def discover_files(paths: Sequence[str], root: Path) -> List[Path]:
+    """Resolve CLI path arguments to an ordered, de-duplicated file list."""
+    discovered: List[Path] = []
+    seen: Set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if not path.is_absolute():
+            path = root / path
+        if path.is_file():
+            candidates: Iterable[Path] = [path]
+        elif path.is_dir():
+            candidates = [
+                candidate
+                for candidate in sorted(path.rglob("*.py"))
+                if not _skipped(candidate.relative_to(path))
+            ]
+        else:
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                discovered.append(candidate)
+    return discovered
+
+
+def _skipped(relative: Path) -> bool:
+    return any(
+        part in _SKIPPED_DIRECTORIES or part.startswith(".")
+        for part in relative.parts[:-1]
+    )
+
+
+def _relative_path(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+# ----------------------------------------------------------------------
+# Suppression parsing
+# ----------------------------------------------------------------------
+def parse_suppressions(
+    source: str, path: str
+) -> Tuple[Dict[int, Suppression], List[Finding]]:
+    """Extract suppressions per line, plus findings for malformed ones.
+
+    Tokenizes rather than greps so that prose *mentioning* the
+    suppression syntax (docstrings, help text, string literals) is never
+    mistaken for an actual suppression comment.
+    """
+    suppressions: Dict[int, Suppression] = {}
+    malformed: List[Finding] = []
+    for token in tokenize.generate_tokens(io.StringIO(source).readline):
+        if token.type != tokenize.COMMENT:
+            continue
+        text = token.string
+        number = token.start[0]
+        marker = _SUPPRESSION_MARKER.search(text)
+        if marker is None:
+            continue
+        match = _SUPPRESSION.search(text)
+        codes: Tuple[str, ...] = ()
+        reason = ""
+        if match is not None:
+            codes = tuple(
+                code.strip() for code in match.group("codes").split(",") if code.strip()
+            )
+            reason = match.group("reason").strip()
+        if match is None or not codes:
+            malformed.append(
+                _engine_finding(
+                    SUPPRESSION_CODE,
+                    "malformed suppression: expected "
+                    "'# repro: ignore[CODE] <justification>'",
+                    path,
+                    number,
+                    token.start[1] + marker.start() + 1,
+                )
+            )
+            continue
+        if not reason:
+            malformed.append(
+                _engine_finding(
+                    SUPPRESSION_CODE,
+                    f"suppression of {', '.join(codes)} has no justification "
+                    "text; say why the finding is safe",
+                    path,
+                    number,
+                    token.start[1] + marker.start() + 1,
+                )
+            )
+            continue
+        suppressions[number] = Suppression(line=number, codes=codes, reason=reason)
+    return suppressions, malformed
+
+
+def _engine_finding(
+    code: str, message: str, path: str, line: int, column: int = 1
+) -> Finding:
+    return Finding(
+        code=code,
+        message=message,
+        path=path,
+        line=line,
+        column=column,
+        severity=Severity.ERROR,
+    )
+
+
+# ----------------------------------------------------------------------
+# Baselines
+# ----------------------------------------------------------------------
+def _fingerprint(path: str, code: str, line_text: str, occurrence: int) -> str:
+    payload = f"{path}::{code}::{line_text.strip()}::{occurrence}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def load_baseline(path: Path) -> Set[str]:
+    """The fingerprint set of a baseline file (empty if absent)."""
+    if not path.is_file():
+        return set()
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or "fingerprints" not in data:
+        raise ValueError(f"baseline {path} is not a repro.analysis baseline file")
+    return set(data["fingerprints"])
+
+
+def write_baseline(path: Path, result: AnalysisResult) -> int:
+    """Record every currently active finding; returns how many."""
+    fingerprints = sorted(finding.fingerprint for finding in result.unsuppressed)
+    payload = {
+        "version": 1,
+        "comment": (
+            "Grandfathered repro.analysis findings. Entries disappear as "
+            "findings are fixed; do not add entries by hand."
+        ),
+        "fingerprints": fingerprints,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return len(fingerprints)
+
+
+# ----------------------------------------------------------------------
+# Per-file analysis
+# ----------------------------------------------------------------------
+def _analyze_file(
+    path: Path,
+    relative: str,
+    rules: Sequence[Rule],
+    scopes: Mapping[str, Scope],
+) -> List[Finding]:
+    source = path.read_text(encoding="utf-8")
+    lines = source.splitlines()
+    try:
+        tree = ast.parse(source, filename=relative)
+    except SyntaxError as error:
+        return [
+            _engine_finding(
+                PARSE_CODE,
+                f"file does not parse: {error.msg}",
+                relative,
+                error.lineno or 1,
+                (error.offset or 0) + 1,
+            )
+        ]
+
+    applicable = [
+        rule
+        for rule in rules
+        if scopes.get(rule.code, rule.scope).applies_to(relative)
+    ]
+    context = FileContext(relative, tree)
+    findings = AnalysisVisitor(applicable).run(tree, context)
+
+    suppressions, malformed = parse_suppressions(source, relative)
+    for finding in findings:
+        suppression = suppressions.get(finding.line)
+        if suppression is not None and finding.code in suppression.codes:
+            finding.status = "suppressed"
+            finding.suppress_reason = suppression.reason
+            suppression.used = True
+    for _line, suppression in sorted(suppressions.items()):
+        if not suppression.used:
+            malformed.append(
+                _engine_finding(
+                    SUPPRESSION_CODE,
+                    f"unused suppression of {', '.join(suppression.codes)}: "
+                    "no matching finding on this line",
+                    relative,
+                    suppression.line,
+                )
+            )
+    findings.extend(malformed)
+    findings.sort(key=lambda finding: (finding.line, finding.column, finding.code))
+
+    occurrences: Dict[Tuple[str, str], int] = {}
+    for finding in findings:
+        line_text = lines[finding.line - 1] if finding.line <= len(lines) else ""
+        key = (finding.code, line_text.strip())
+        occurrence = occurrences.get(key, 0)
+        occurrences[key] = occurrence + 1
+        finding.fingerprint = _fingerprint(
+            relative, finding.code, line_text, occurrence
+        )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+def analyze_paths(
+    paths: Sequence[str],
+    root: Optional[Path] = None,
+    rules: Optional[Sequence[Rule]] = None,
+    scopes: Optional[Mapping[str, Scope]] = None,
+    baseline: Optional[Set[str]] = None,
+    select: Optional[Iterable[str]] = None,
+) -> AnalysisResult:
+    """Run the analyzer over ``paths``.
+
+    Parameters
+    ----------
+    paths:
+        Files and/or directories, absolute or relative to ``root``.
+    root:
+        Directory scope patterns and reported paths are relative to;
+        defaults to the current working directory.
+    rules:
+        Rule instances to run; defaults to the full registry.
+    scopes:
+        Per-code :class:`~repro.analysis.rules.Scope` overrides -- how
+        tests aim a rule at fixture files outside its default packages,
+        and how a downstream config could widen or narrow a package's
+        rule set.
+    baseline:
+        Fingerprints (from :func:`load_baseline`) to grandfather:
+        matching active findings become ``"baselined"``.
+    select:
+        Restrict the run to these rule codes.
+    """
+    root = Path.cwd() if root is None else root
+    active_rules: Sequence[Rule] = all_rules() if rules is None else rules
+    if select is not None:
+        wanted = set(select)
+        unknown = wanted - {rule.code for rule in active_rules}
+        if unknown:
+            raise KeyError(f"unknown rule codes: {', '.join(sorted(unknown))}")
+        active_rules = [rule for rule in active_rules if rule.code in wanted]
+
+    result = AnalysisResult(root=str(root))
+    for path in discover_files(paths, root):
+        relative = _relative_path(path, root)
+        result.files.append(relative)
+        result.findings.extend(
+            _analyze_file(path, relative, active_rules, scopes or {})
+        )
+    if baseline:
+        for finding in result.findings:
+            if finding.status == "active" and finding.fingerprint in baseline:
+                finding.status = "baselined"
+    return result

@@ -1,0 +1,87 @@
+"""Renderings of an :class:`~repro.analysis.engine.AnalysisResult`.
+
+Three formats, all deterministic (no timestamps, stable ordering):
+
+* ``text`` -- the human default: one ``path:line:col: CODE message``
+  line per active finding plus a summary;
+* ``json`` -- the machine form consumed by tests and tooling;
+* ``github`` -- GitHub Actions workflow annotations, so CI failures
+  show up inline on the offending lines of a pull request.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.analysis.engine import AnalysisResult
+from repro.analysis.rules import Finding
+
+__all__ = ["render_text", "render_json", "render_github"]
+
+
+def _sorted_findings(findings: List[Finding]) -> List[Finding]:
+    return sorted(
+        findings, key=lambda finding: (finding.path, finding.line, finding.column, finding.code)
+    )
+
+
+def render_text(result: AnalysisResult, show_suppressed: bool = False) -> str:
+    """Human-readable report; active findings only unless asked."""
+    lines: List[str] = []
+    for finding in _sorted_findings(result.findings):
+        if finding.status == "active":
+            lines.append(
+                f"{finding.location()}: {finding.code} "
+                f"[{finding.severity.value}] {finding.message}"
+            )
+        elif show_suppressed:
+            reason = (
+                f" ({finding.suppress_reason})" if finding.suppress_reason else ""
+            )
+            lines.append(
+                f"{finding.location()}: {finding.code} "
+                f"[{finding.status}]{reason} {finding.message}"
+            )
+    counts = result.counts()
+    lines.append(
+        f"{len(result.files)} files analyzed: {counts['active']} findings, "
+        f"{counts['suppressed']} suppressed, {counts['baselined']} baselined"
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: AnalysisResult) -> str:
+    """Machine-readable report (stable key order, no timestamps)."""
+    payload = {
+        "files": len(result.files),
+        "summary": result.counts(),
+        "findings": [
+            {
+                "code": finding.code,
+                "severity": finding.severity.value,
+                "path": finding.path,
+                "line": finding.line,
+                "column": finding.column,
+                "message": finding.message,
+                "status": finding.status,
+                "suppress_reason": finding.suppress_reason,
+                "fingerprint": finding.fingerprint,
+            }
+            for finding in _sorted_findings(result.findings)
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_github(result: AnalysisResult) -> str:
+    """GitHub Actions ``::error``/``::warning`` workflow annotations."""
+    lines: List[str] = []
+    for finding in _sorted_findings(result.unsuppressed):
+        level = "error" if finding.severity.value == "error" else "warning"
+        message = finding.message.replace("%", "%25").replace("\n", "%0A")
+        lines.append(
+            f"::{level} file={finding.path},line={finding.line},"
+            f"col={finding.column},title={finding.code}::{message}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,626 @@
+"""Rule framework and the determinism/simulation-safety rule set.
+
+A :class:`Rule` packages one checkable invariant: a stable code
+(``DET001``), the AST node types it wants to see, the package scope it
+applies to by default, a severity, and a rationale that doubles as its
+documentation (``python -m repro.analysis --list-rules`` prints it).
+
+Every rule in the initial set is derived from a real bug class that has
+occurred in this repository -- see each rule's ``rationale``.  Rules are
+stateless: the engine instantiates each once and the visitor calls
+:meth:`Rule.check` for every interesting node, so a rule never needs to
+worry about traversal order or file boundaries.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from typing import TYPE_CHECKING, ClassVar, Dict, Iterator, List, Tuple, Type
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
+    from repro.analysis.visitor import FileContext
+
+__all__ = [
+    "Severity",
+    "Finding",
+    "Scope",
+    "Rule",
+    "register_rule",
+    "all_rules",
+    "get_rule",
+    "SIM_PACKAGES",
+]
+
+
+class Severity(enum.Enum):
+    """How serious a finding is; both levels currently fail the gate."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass
+class Finding:
+    """One reported violation of a rule at a concrete source location.
+
+    ``status`` is assigned by the engine after suppression/baseline
+    matching: ``"active"`` findings fail the CLI, ``"suppressed"`` ones
+    carry the justification of their inline ignore comment, and
+    ``"baselined"`` ones were grandfathered by a committed baseline file.
+    """
+
+    code: str
+    message: str
+    path: str
+    line: int
+    column: int
+    severity: Severity = Severity.ERROR
+    status: str = "active"
+    suppress_reason: str = ""
+    fingerprint: str = ""
+
+    def location(self) -> str:
+        """``path:line:col`` in the clickable convention."""
+        return f"{self.path}:{self.line}:{self.column}"
+
+
+@dataclass(frozen=True)
+class Scope:
+    """Which files a rule applies to, as ``fnmatch`` patterns.
+
+    Patterns match the file path relative to the analysis root, in posix
+    form (e.g. ``src/repro/des/*``).  ``fnmatch``'s ``*`` crosses ``/``
+    boundaries, so one pattern covers a whole package tree.
+    """
+
+    include: Tuple[str, ...] = ("*",)
+    exclude: Tuple[str, ...] = ()
+
+    def applies_to(self, path: str) -> bool:
+        """``True`` if the rule should run on ``path``."""
+        if not any(fnmatchcase(path, pattern) for pattern in self.include):
+            return False
+        return not any(fnmatchcase(path, pattern) for pattern in self.exclude)
+
+
+#: The packages whose code runs inside a simulation replication: any
+#: nondeterminism here flows straight into RNG draw order, event order,
+#: and therefore fixed-seed results.  ``repro.analysis`` itself is held
+#: to the same standard so that report ordering is reproducible.
+SIM_PACKAGES: Tuple[str, ...] = (
+    "src/repro/des/*",
+    "src/repro/san/*",
+    "src/repro/cluster/*",
+    "src/repro/consensus/*",
+    "src/repro/faults/*",
+    "src/repro/analysis/*",
+)
+
+
+class Rule:
+    """Base class: one named, scoped, documented invariant.
+
+    Subclasses declare class-level metadata and implement :meth:`check`;
+    :func:`register_rule` adds them to the registry the engine runs.
+    """
+
+    code: ClassVar[str]
+    name: ClassVar[str]
+    severity: ClassVar[Severity] = Severity.ERROR
+    #: One-paragraph documentation: what the rule forbids and which real
+    #: bug class motivates it.  Shown by ``--list-rules``.
+    rationale: ClassVar[str]
+    #: Default file scope; the engine may override per run.
+    scope: ClassVar[Scope] = Scope()
+    #: AST node types dispatched to :meth:`check`.
+    interests: ClassVar[Tuple[Type[ast.AST], ...]]
+
+    def check(self, node: ast.AST, context: "FileContext") -> Iterator[Finding]:
+        """Yield findings for ``node``; called once per interesting node."""
+        raise NotImplementedError
+        yield  # pragma: no cover - makes every override a generator
+
+    # ------------------------------------------------------------------
+    def finding(
+        self, context: "FileContext", node: ast.AST, message: str
+    ) -> Finding:
+        """Build a finding anchored at ``node``."""
+        return Finding(
+            code=self.code,
+            message=message,
+            path=context.path,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0) + 1,
+            severity=self.severity,
+        )
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register_rule(rule_class: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the registry (codes are unique)."""
+    code = rule_class.code
+    existing = _REGISTRY.get(code)
+    if existing is not None and existing is not rule_class:
+        raise ValueError(
+            f"duplicate rule code {code!r}: {existing.__name__} vs "
+            f"{rule_class.__name__}"
+        )
+    _REGISTRY[code] = rule_class
+    return rule_class
+
+
+def all_rules() -> List[Rule]:
+    """One instance of every registered rule, ordered by code."""
+    return [
+        _REGISTRY[code]() for code in sorted(_REGISTRY)
+    ]
+
+
+def get_rule(code: str) -> Rule:
+    """Instantiate the rule registered under ``code``."""
+    try:
+        return _REGISTRY[code]()
+    except KeyError:
+        raise KeyError(
+            f"unknown rule code {code!r}; known: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+# ======================================================================
+# Shared AST helpers
+# ======================================================================
+def _is_unordered_view(expr: ast.AST) -> str | None:
+    """Describe ``expr`` if it is an unordered (or order-fragile) iterable.
+
+    Matches zero-argument ``.items()``/``.keys()``/``.values()`` calls
+    (dict views: insertion-ordered, so their order encodes mutation
+    history), set literals, and ``set()``/``frozenset()`` calls (hash
+    ordered: varies with ``PYTHONHASHSEED`` for str elements).
+    """
+    if (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Attribute)
+        and expr.func.attr in ("items", "keys", "values")
+        and not expr.args
+        and not expr.keywords
+    ):
+        return f".{expr.func.attr}() view"
+    if isinstance(expr, ast.Set):
+        return "set literal"
+    if (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Name)
+        and expr.func.id in ("set", "frozenset")
+    ):
+        return f"{expr.func.id}() result"
+    return None
+
+
+#: Builtins whose result does not depend on the order their iterable
+#: argument is consumed in: a generator feeding one of these is safe to
+#: run over an unordered view.  (``min``/``max`` are excluded: on ties
+#: they return the first occurrence, which is order-dependent.)
+_ORDER_INSENSITIVE_REDUCERS = frozenset(
+    {"sum", "any", "all", "len", "set", "frozenset", "sorted"}
+)
+
+#: Builtins that materialise their argument in iteration order.
+_ORDER_PRESERVING_BUILTINS = frozenset({"list", "tuple", "enumerate", "iter"})
+
+
+# ======================================================================
+# DET001 -- unordered iteration
+# ======================================================================
+@register_rule
+class UnorderedIterationRule(Rule):
+    code = "DET001"
+    name = "unordered-iteration"
+    rationale = (
+        "Iterating a set, or a dict .items()/.keys()/.values() view, in an "
+        "order-sensitive position inside a simulation package leaks hash "
+        "ordering (PYTHONHASHSEED) or mutation history into event and RNG "
+        "draw order. PR 3 fixed exactly this bug: SANExecutor drew "
+        "durations in set-iteration order, so fixed-seed results differed "
+        "across processes. Wrap the iterable in sorted(), or suppress with "
+        "a justification when the surrounding dict's insertion order is "
+        "itself part of the determinism contract. Iteration feeding an "
+        "order-insensitive reducer (sum/any/all/len/set/frozenset/sorted) "
+        "or a set comprehension is exempt."
+    )
+    scope = Scope(include=SIM_PACKAGES)
+    interests = (ast.For, ast.ListComp, ast.DictComp, ast.GeneratorExp, ast.Call)
+
+    def check(self, node: ast.AST, context: "FileContext") -> Iterator[Finding]:
+        if isinstance(node, ast.For):
+            yield from self._check_iterable(node.iter, context)
+        elif isinstance(node, (ast.ListComp, ast.DictComp)):
+            for comprehension in node.generators:
+                yield from self._check_iterable(comprehension.iter, context)
+        elif isinstance(node, ast.GeneratorExp):
+            if self._consumed_order_insensitively(node, context):
+                return
+            for comprehension in node.generators:
+                yield from self._check_iterable(comprehension.iter, context)
+        elif isinstance(node, ast.Call):
+            if (
+                isinstance(node.func, ast.Name)
+                and node.func.id in _ORDER_PRESERVING_BUILTINS
+                and len(node.args) == 1
+                and not node.keywords
+            ):
+                yield from self._check_iterable(node.args[0], context)
+
+    def _check_iterable(
+        self, expr: ast.AST, context: "FileContext"
+    ) -> Iterator[Finding]:
+        description = _is_unordered_view(expr)
+        if description is not None:
+            yield self.finding(
+                context,
+                expr,
+                f"order-sensitive iteration over unordered {description}; "
+                "wrap in sorted() or justify why the order is deterministic",
+            )
+
+    @staticmethod
+    def _consumed_order_insensitively(
+        node: ast.GeneratorExp, context: "FileContext"
+    ) -> bool:
+        parent = context.parent(node)
+        return (
+            isinstance(parent, ast.Call)
+            and isinstance(parent.func, ast.Name)
+            and parent.func.id in _ORDER_INSENSITIVE_REDUCERS
+        )
+
+
+# ======================================================================
+# DET002 -- builtin hash()
+# ======================================================================
+@register_rule
+class BuiltinHashRule(Rule):
+    code = "DET002"
+    name = "builtin-hash"
+    rationale = (
+        "builtin hash() on str/bytes varies from process to process under "
+        "hash randomisation (PYTHONHASHSEED), so any hash() value that "
+        "reaches a seed, an ordering, or a persisted artifact silently "
+        "breaks cross-process reproducibility. PR 1 fixed exactly this "
+        "bug: figure 9 derived simulation seeds from hash(kind). Derive "
+        "stable identities with hashlib or RandomStreams._stable_hash "
+        "instead; __hash__ implementations and _stable_hash itself are "
+        "exempt, and purely in-process uses (dict-key memoisation) can be "
+        "suppressed with a justification."
+    )
+    scope = Scope(include=("src/repro/*",))
+    interests = (ast.Call,)
+
+    #: Enclosing function names inside which ``hash()`` is legitimate.
+    whitelisted_functions = frozenset({"__hash__", "_stable_hash"})
+
+    def check(self, node: ast.AST, context: "FileContext") -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        if not (isinstance(node.func, ast.Name) and node.func.id == "hash"):
+            return
+        if context.resolved_name(node.func) != "hash":
+            return  # shadowed by an import; not the builtin
+        if self.whitelisted_functions & set(context.function_stack):
+            return
+        yield self.finding(
+            context,
+            node,
+            "builtin hash() is PYTHONHASHSEED-dependent on str/bytes; use "
+            "hashlib or RandomStreams._stable_hash for stable identities",
+        )
+
+
+# ======================================================================
+# DET003 -- module-level RNG
+# ======================================================================
+#: numpy.random attributes that construct explicit, seedable generator
+#: objects rather than drawing from the hidden module-level state.
+_NUMPY_RANDOM_ALLOWED = frozenset(
+    {
+        "Generator",
+        "BitGenerator",
+        "SeedSequence",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+
+@register_rule
+class ModuleLevelRandomRule(Rule):
+    code = "DET003"
+    name = "module-level-random"
+    rationale = (
+        "Drawing from the stdlib random module or numpy's module-level "
+        "np.random.* state uses one hidden global stream: draws made by "
+        "unrelated components interleave, so adding or reordering any draw "
+        "perturbs every other component's randomness, and worker processes "
+        "see different state than the parent. All randomness must come "
+        "from named repro.des.random.RandomStreams streams (or an "
+        "explicitly seeded np.random.default_rng). Constructing Generator/"
+        "SeedSequence/bit-generator objects is exempt; default_rng() is "
+        "flagged only when called without a seed."
+    )
+    scope = Scope(include=("src/repro/*", "tests/*", "benchmarks/*"))
+    interests = (ast.Call,)
+
+    def check(self, node: ast.AST, context: "FileContext") -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        resolved = context.resolved_name(node.func)
+        if resolved is None:
+            return
+        if resolved == "random" or resolved.startswith("random."):
+            yield self.finding(
+                context,
+                node,
+                f"call to stdlib {resolved}() draws from the hidden global "
+                "stream; use a named RandomStreams stream",
+            )
+            return
+        prefix = "numpy.random."
+        if resolved.startswith(prefix):
+            attribute = resolved[len(prefix):]
+            if attribute in _NUMPY_RANDOM_ALLOWED:
+                return
+            if attribute == "default_rng":
+                if node.args or node.keywords:
+                    return
+                yield self.finding(
+                    context,
+                    node,
+                    "numpy.random.default_rng() without a seed is "
+                    "nondeterministic; pass a seed or SeedSequence",
+                )
+                return
+            yield self.finding(
+                context,
+                node,
+                f"call to {resolved}() uses numpy's module-level RNG state; "
+                "use a named RandomStreams stream",
+            )
+
+
+# ======================================================================
+# DET004 -- wall-clock reads
+# ======================================================================
+#: Resolved dotted names that read the host clock.  Monotonic/perf
+#: counters are included: elapsed-time *metadata* is legitimate (and
+#: suppressible with a justification), but a clock value feeding
+#: simulation logic is a determinism bug regardless of which clock.
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.localtime",
+        "time.gmtime",
+        "time.ctime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+@register_rule
+class WallClockRule(Rule):
+    code = "DET004"
+    name = "wall-clock-read"
+    rationale = (
+        "Reading the host clock (time.time, datetime.now, perf counters) "
+        "inside simulation code ties results to the machine's execution "
+        "speed: two fixed-seed runs diverge, and cached results stop being "
+        "comparable. Simulated time must come from Simulator.now. "
+        "Elapsed-time bookkeeping that provably never feeds back into "
+        "results (run manifests, solver timing metadata) is suppressed "
+        "with a justification; repro/experiments/artifacts.py (run "
+        "timestamps) and repro/benchmarking.py (its entire purpose is "
+        "timing) are exempt by scope."
+    )
+    scope = Scope(
+        include=("src/repro/*",),
+        exclude=(
+            "src/repro/experiments/artifacts.py",
+            "src/repro/benchmarking.py",
+        ),
+    )
+    interests = (ast.Call,)
+
+    def check(self, node: ast.AST, context: "FileContext") -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        resolved = context.resolved_name(node.func)
+        if resolved in _WALL_CLOCK_CALLS:
+            yield self.finding(
+                context,
+                node,
+                f"wall-clock read {resolved}() in simulation code; use "
+                "Simulator.now for simulated time, or justify pure "
+                "elapsed-time bookkeeping",
+            )
+
+
+# ======================================================================
+# DET005 -- identity-based state
+# ======================================================================
+@register_rule
+class IdentityOrderingRule(Rule):
+    code = "DET005"
+    name = "identity-ordering"
+    rationale = (
+        "id() values are memory addresses: they differ between runs and "
+        "processes, so ordering by id() or keying simulation state on "
+        "id(obj) makes iteration order and cache keys nondeterministic. "
+        "Key state on stable names or explicit sequence numbers (the DES "
+        "calendar's _seq counter is the house pattern) instead."
+    )
+    scope = Scope(include=SIM_PACKAGES)
+    interests = (ast.Call,)
+
+    def check(self, node: ast.AST, context: "FileContext") -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        if not (isinstance(node.func, ast.Name) and node.func.id == "id"):
+            return
+        if context.resolved_name(node.func) != "id":
+            return
+        yield self.finding(
+            context,
+            node,
+            "id() is a per-process memory address; key or order simulation "
+            "state by stable names or sequence numbers instead",
+        )
+
+
+# ======================================================================
+# PICKLE001 -- unpicklable plan payloads
+# ======================================================================
+#: Constructors whose arguments travel to ProcessPoolExecutor workers.
+#: Matched on the trailing components of the resolved call name, so both
+#: ``SweepPoint.make(...)`` and ``runner.SweepPoint(...)`` are covered.
+_BOUNDARY_CONSTRUCTORS: Tuple[Tuple[str, ...], ...] = (
+    ("SweepPoint",),
+    ("SweepPoint", "make"),
+    ("ReplicationPlan",),
+)
+
+
+@register_rule
+class ProcessBoundaryPickleRule(Rule):
+    code = "PICKLE001"
+    name = "unpicklable-plan-payload"
+    rationale = (
+        "SweepPoint/ReplicationPlan payloads cross the "
+        "ProcessPoolExecutor boundary in repro/experiments/runner.py and "
+        "must pickle: lambdas and functions or classes defined inside "
+        "another function cannot. The failure only surfaces at jobs>1 -- "
+        "the jobs=1 in-process path happily executes the unpicklable "
+        "plan, so the bug hides until a parallel run. Point functions "
+        "must be module-level (SweepPoint's own docstring contract)."
+    )
+    interests = (ast.Call,)
+
+    def check(self, node: ast.AST, context: "FileContext") -> Iterator[Finding]:
+        assert isinstance(node, ast.Call)
+        resolved = context.resolved_name(node.func)
+        if resolved is None or not self._is_boundary(resolved):
+            return
+        values = list(node.args) + [keyword.value for keyword in node.keywords]
+        for value in values:
+            if isinstance(value, ast.Lambda):
+                yield self.finding(
+                    context,
+                    value,
+                    "lambda in a plan payload cannot be pickled to worker "
+                    "processes; use a module-level function",
+                )
+            elif isinstance(value, ast.Name) and context.is_locally_defined(
+                value.id
+            ):
+                yield self.finding(
+                    context,
+                    value,
+                    f"{value.id!r} is defined inside a function and cannot "
+                    "be pickled to worker processes; move it to module "
+                    "level",
+                )
+
+    @staticmethod
+    def _is_boundary(resolved: str) -> bool:
+        parts = tuple(resolved.split("."))
+        return any(
+            parts[-len(suffix):] == suffix for suffix in _BOUNDARY_CONSTRUCTORS
+        )
+
+
+# ======================================================================
+# MUT001 -- mutable dataclass field defaults
+# ======================================================================
+_MUTABLE_CONSTRUCTORS = frozenset(
+    {"list", "dict", "set", "bytearray", "deque", "defaultdict", "Counter"}
+)
+
+
+def _mutable_default(value: ast.AST) -> str | None:
+    """Describe ``value`` if it is a shared-mutable default expression."""
+    if isinstance(value, (ast.List, ast.Dict, ast.Set)):
+        return "mutable literal"
+    if (
+        isinstance(value, ast.Call)
+        and isinstance(value.func, ast.Name)
+        and value.func.id in _MUTABLE_CONSTRUCTORS
+    ):
+        return f"{value.func.id}() call"
+    return None
+
+
+@register_rule
+class MutableDataclassDefaultRule(Rule):
+    code = "MUT001"
+    name = "mutable-dataclass-default"
+    rationale = (
+        "A mutable default on a dataclass field is shared by every "
+        "instance: one replication mutating it leaks state into all "
+        "others, the classic cross-replication contamination bug. "
+        "dataclasses rejects bare list/dict/set defaults at class "
+        "creation, but only for those exact types and not inside "
+        "field(default=...); this rule catches the whole class at lint "
+        "time (complementing ruff B006, which only covers function "
+        "arguments). Use field(default_factory=...)."
+    )
+    interests = (ast.ClassDef,)
+
+    def check(self, node: ast.AST, context: "FileContext") -> Iterator[Finding]:
+        assert isinstance(node, ast.ClassDef)
+        if not self._is_dataclass(node, context):
+            return
+        for statement in node.body:
+            if not isinstance(statement, ast.AnnAssign) or statement.value is None:
+                continue
+            if "ClassVar" in ast.dump(statement.annotation):
+                continue
+            yield from self._check_default(statement.value, context)
+
+    def _check_default(
+        self, value: ast.AST, context: "FileContext"
+    ) -> Iterator[Finding]:
+        description = _mutable_default(value)
+        if description is not None:
+            yield self.finding(
+                context,
+                value,
+                f"dataclass field default is a shared {description}; use "
+                "field(default_factory=...)",
+            )
+            return
+        # field(default=<mutable>) slips past the dataclasses runtime
+        # check for subclasses and non-builtin containers; inspect it too.
+        if isinstance(value, ast.Call):
+            resolved = context.resolved_name(value.func)
+            if resolved is not None and resolved.split(".")[-1] == "field":
+                for keyword in value.keywords:
+                    if keyword.arg == "default" and keyword.value is not None:
+                        yield from self._check_default(keyword.value, context)
+
+    @staticmethod
+    def _is_dataclass(node: ast.ClassDef, context: "FileContext") -> bool:
+        for decorator in node.decorator_list:
+            target = decorator.func if isinstance(decorator, ast.Call) else decorator
+            resolved = context.resolved_name(target)
+            if resolved is not None and resolved.split(".")[-1] == "dataclass":
+                return True
+        return False

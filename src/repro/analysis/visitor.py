@@ -1,0 +1,161 @@
+"""Single-pass dispatching AST visitor and its per-file context.
+
+The engine parses each file once; :class:`AnalysisVisitor` walks the
+tree once, dispatching every node to the rules that registered interest
+in its type.  :class:`FileContext` carries what rules need beyond the
+node itself: the file path, parent links, the enclosing
+function/class stacks, which names were defined locally inside a
+function (for picklability checks), and an import-alias table that
+resolves expressions like ``np.random.seed`` to the dotted name
+``numpy.random.seed`` regardless of how the module was imported.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Type
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
+    from repro.analysis.rules import Finding, Rule
+
+__all__ = ["FileContext", "AnalysisVisitor"]
+
+
+class FileContext:
+    """Resolution and traversal context for one analyzed file."""
+
+    def __init__(self, path: str, tree: ast.AST) -> None:
+        self.path = path
+        #: Names of enclosing functions, innermost last.
+        self.function_stack: List[str] = []
+        #: Names of enclosing classes, innermost last.
+        self.class_stack: List[str] = []
+        self._parents: Dict[int, ast.AST] = {}
+        # AST nodes lack value hashing, so the parent map is keyed by
+        # object identity; it lives for one parse, in one process, and is
+        # never iterated in key order -- exactly the DET005 carve-out.
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[id(child)] = parent  # repro: ignore[DET005] in-process identity map, never ordered
+        self._module_imports: Dict[str, str] = {}
+        self._from_imports: Dict[str, str] = {}
+        self._collect_imports(tree)
+        # Stack of per-function-scope def/class name sets; module level is
+        # deliberately absent (module-level definitions pickle fine).
+        self._local_definitions: List[Set[str]] = []
+
+    # ------------------------------------------------------------------
+    # Imports and name resolution
+    # ------------------------------------------------------------------
+    def _collect_imports(self, tree: ast.AST) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname is not None:
+                        self._module_imports[alias.asname] = alias.name
+                    else:
+                        # ``import a.b`` binds the *top* package name.
+                        top = alias.name.split(".")[0]
+                        self._module_imports[top] = top
+            elif isinstance(node, ast.ImportFrom):
+                if node.module is None or node.level:
+                    continue  # relative imports resolve inside this repo
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    self._from_imports[bound] = f"{node.module}.{alias.name}"
+
+    def resolved_name(self, node: ast.AST) -> Optional[str]:
+        """The dotted name of ``node`` with import aliases expanded.
+
+        A bare :class:`ast.Name` resolves through the import table
+        (``np`` -> ``numpy``, ``from time import perf_counter`` makes
+        ``perf_counter`` -> ``time.perf_counter``) and otherwise to
+        itself, so builtins resolve to their own name.  Returns ``None``
+        for expressions that are not name/attribute chains.
+        """
+        if isinstance(node, ast.Name):
+            if node.id in self._from_imports:
+                return self._from_imports[node.id]
+            if node.id in self._module_imports:
+                return self._module_imports[node.id]
+            return node.id
+        if isinstance(node, ast.Attribute):
+            base = self.resolved_name(node.value)
+            if base is None:
+                return None
+            return f"{base}.{node.attr}"
+        return None
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        """The syntactic parent of ``node`` (``None`` for the module)."""
+        return self._parents.get(id(node))  # repro: ignore[DET005] lookup in the identity map built in __init__
+
+    def is_locally_defined(self, name: str) -> bool:
+        """``True`` if ``name`` is a def/class inside an enclosing function."""
+        return any(name in scope for scope in self._local_definitions)
+
+    # ------------------------------------------------------------------
+    # Stack maintenance (driven by the visitor)
+    # ------------------------------------------------------------------
+    def enter_function(self, name: str) -> None:
+        self.function_stack.append(name)
+        self._local_definitions.append(set())
+
+    def exit_function(self) -> None:
+        self.function_stack.pop()
+        self._local_definitions.pop()
+
+    def record_definition(self, name: str) -> None:
+        """Register a def/class name in the innermost function scope."""
+        if self._local_definitions:
+            self._local_definitions[-1].add(name)
+
+
+class AnalysisVisitor:
+    """Walks one tree, feeding each node to the interested rules."""
+
+    def __init__(self, rules: List["Rule"]) -> None:
+        self._dispatch: Dict[Type[ast.AST], List["Rule"]] = {}
+        for rule in rules:
+            for node_type in rule.interests:
+                self._dispatch.setdefault(node_type, []).append(rule)
+
+    def run(self, tree: ast.AST, context: FileContext) -> List["Finding"]:
+        """Single pass over ``tree``; returns findings in source order."""
+        findings: List["Finding"] = []
+        self._visit(tree, context, findings)
+        findings.sort(key=lambda finding: (finding.line, finding.column, finding.code))
+        return findings
+
+    # ------------------------------------------------------------------
+    def _visit(
+        self, node: ast.AST, context: FileContext, findings: List["Finding"]
+    ) -> None:
+        for rule in self._dispatch.get(type(node), ()):
+            findings.extend(rule.check(node, context))
+
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            context.record_definition(node.name)
+            context.enter_function(node.name)
+            self._visit_children(node, context, findings)
+            context.exit_function()
+        elif isinstance(node, ast.Lambda):
+            context.enter_function("<lambda>")
+            self._visit_children(node, context, findings)
+            context.exit_function()
+        elif isinstance(node, ast.ClassDef):
+            context.record_definition(node.name)
+            context.class_stack.append(node.name)
+            self._visit_children(node, context, findings)
+            context.class_stack.pop()
+        else:
+            self._visit_children(node, context, findings)
+
+    def _visit_children(
+        self, node: ast.AST, context: FileContext, findings: List["Finding"]
+    ) -> None:
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, context, findings)

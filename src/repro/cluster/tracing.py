@@ -126,7 +126,7 @@ class MessageTrace:
             by_parent.setdefault(record.parent_id or -1, []).append(
                 record.end_to_end_delay
             )
-        return [sum(values) / len(values) for values in by_parent.values()]
+        return [sum(values) / len(values) for values in by_parent.values()]  # repro: ignore[DET001] keyed in trace-record order, deterministic for a fixed-seed run
 
     def delay_cdf(self, delays: Iterable[float]) -> EmpiricalCDF:
         """Convenience: the empirical CDF of a list of delays."""

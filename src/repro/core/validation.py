@@ -96,7 +96,7 @@ def ordering_holds(values: Sequence[float], decreasing: bool = False) -> bool:
     coordinator crash is slower than no crash, latency falls as the FD
     timeout grows -- and this helper expresses them uniformly.
     """
-    pairs = zip(values, list(values)[1:])
+    pairs = zip(values, list(values)[1:], strict=False)
     if decreasing:
         return all(a >= b for a, b in pairs)
     return all(a <= b for a, b in pairs)
@@ -106,7 +106,7 @@ def crossover_point(
     xs: Sequence[float], ys: Sequence[float], threshold: float
 ) -> Optional[float]:
     """The first x at which y drops below ``threshold`` (for Fig. 9 shape checks)."""
-    for x, y in zip(xs, ys):
+    for x, y in zip(xs, ys, strict=True):
         if y <= threshold:
             return x
     return None

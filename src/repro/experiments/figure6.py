@@ -183,7 +183,7 @@ def figure6_record(result: Figure6Result) -> Dict[str, Any]:
 
 def figure6_rows(result: Figure6Result):
     """The CSV series of Figure 6: one row of quantiles per curve."""
-    header = ["curve"] + [f"p{int(p * 100):02d}_ms" for p in REPORT_PROBABILITIES]
+    header = ["curve", *(f"p{int(p * 100):02d}_ms" for p in REPORT_PROBABILITIES)]
     rows = [
         [label, *quantiles] for label, quantiles in result.rows(REPORT_PROBABILITIES)
     ]

@@ -237,8 +237,11 @@ def figure9_record(result: Figure9Result) -> Dict[str, Any]:
 
 def figure9_rows(result: Figure9Result):
     """The CSV series of Figure 9."""
-    header = ["n_processes", "timeout_ms", "measured_latency_ms"] + [
-        f"simulated_{kind}_ms" for kind in FD_KINDS
+    header = [
+        "n_processes",
+        "timeout_ms",
+        "measured_latency_ms",
+        *(f"simulated_{kind}_ms" for kind in FD_KINDS),
     ]
     rows = []
     for (n, t) in sorted(result.points):

@@ -119,10 +119,10 @@ class ExperimentContext:
 
     def record(self, label: str, step: Callable[[], T]) -> T:
         """Run an ad-hoc (non-plan) stage, timing it into the manifest."""
-        started = time.perf_counter()
+        started = time.perf_counter()  # repro: ignore[DET004] elapsed-time metadata only; never feeds simulation state or results
         result = step()
         self.timings.append(
-            PointTiming(label=label, indices=(), seconds=time.perf_counter() - started)
+            PointTiming(label=label, indices=(), seconds=time.perf_counter() - started)  # repro: ignore[DET004] elapsed-time metadata only; never feeds simulation state or results
         )
         return result
 
@@ -374,9 +374,9 @@ def run_experiment(
         )
     context = options.context(settings)
     started_at = utc_timestamp()
-    started = time.perf_counter()
+    started = time.perf_counter()  # repro: ignore[DET004] elapsed-time metadata only; never feeds simulation state or results
     result = spec.execute(context)
-    wall_clock = time.perf_counter() - started
+    wall_clock = time.perf_counter() - started  # repro: ignore[DET004] elapsed-time metadata only; never feeds simulation state or results
     manifest = RunManifest(
         experiment=spec.name,
         scale=scale,

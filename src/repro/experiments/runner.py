@@ -271,9 +271,9 @@ def _execute_payload(
     clock without a second round-trip to the worker.
     """
     func, kwargs = payload
-    started = time.perf_counter()
+    started = time.perf_counter()  # repro: ignore[DET004] elapsed-time metadata only; never feeds simulation state or results
     result = func(**kwargs)
-    return time.perf_counter() - started, result
+    return time.perf_counter() - started, result  # repro: ignore[DET004] elapsed-time metadata only; never feeds simulation state or results
 
 
 def iter_plan(
@@ -335,9 +335,9 @@ def iter_plan(
             if index in cached:
                 yield finish_cached(point, cached[index])
                 continue
-            started = time.perf_counter()
+            started = time.perf_counter()  # repro: ignore[DET004] elapsed-time metadata only; never feeds simulation state or results
             result = point.func(**point.call_kwargs(plan.settings))
-            yield finish(index, point, time.perf_counter() - started, result)
+            yield finish(index, point, time.perf_counter() - started, result)  # repro: ignore[DET004] elapsed-time metadata only; never feeds simulation state or results
         return
 
     uncached_count = len(plan.points) - len(cached)

@@ -220,7 +220,7 @@ def estimate_qos_from_intervals(
             durations.extend(end - start for start, end in intervals)
             starts = [start for start, _ in intervals]
             recurrence_gaps.extend(
-                later - earlier for earlier, later in zip(starts, starts[1:])
+                later - earlier for earlier, later in zip(starts, starts[1:], strict=False)
             )
     return {
         "mistake_recurrence_time": (

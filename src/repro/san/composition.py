@@ -33,7 +33,7 @@ def join(name: str, models: Sequence[SANModel]) -> SANModel:
     if not models:
         raise SANValidationError("join() requires at least one model")
     joined = SANModel(name)
-    for place in merge_places(models).values():
+    for place in merge_places(models).values():  # repro: ignore[DET001] merge_places preserves declared model order; the joined place order is part of the model identity
         joined.add_place(place)
     for model in models:
         for activity in model.activities:

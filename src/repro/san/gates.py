@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from repro.san.marking import Marking
+from repro.san.marking import Marking, PlaceRef
 
 Predicate = Callable[[Marking], bool]
 MarkingFunction = Callable[[Marking], None]
@@ -106,22 +106,22 @@ class _MarkingView:
         self._marking = marking
         self._rename = rename
 
-    def __getitem__(self, place) -> int:
+    def __getitem__(self, place: PlaceRef) -> int:
         return self._marking[self._translate(place)]
 
-    def __setitem__(self, place, count: int) -> None:
+    def __setitem__(self, place: PlaceRef, count: int) -> None:
         self._marking[self._translate(place)] = count
 
-    def add(self, place, count: int = 1) -> None:
+    def add(self, place: PlaceRef, count: int = 1) -> None:
         self._marking.add(self._translate(place), count)
 
-    def remove(self, place, count: int = 1) -> None:
+    def remove(self, place: PlaceRef, count: int = 1) -> None:
         self._marking.remove(self._translate(place), count)
 
-    def has(self, place, count: int = 1) -> bool:
+    def has(self, place: PlaceRef, count: int = 1) -> bool:
         return self._marking.has(self._translate(place), count)
 
-    def _translate(self, place) -> str:
+    def _translate(self, place: PlaceRef) -> str:
         name = place.name if hasattr(place, "name") else place
         return self._rename(name)
 

@@ -43,7 +43,7 @@ class Marking:
         self._tokens: Dict[str, int] = {}
         self._changed: set[str] = set()
         if tokens:
-            for name, count in tokens.items():
+            for name, count in tokens.items():  # repro: ignore[DET001] copies the caller's mapping; a canonical sorted order is imposed at freeze()
                 self[name] = count
 
     # ------------------------------------------------------------------
@@ -84,7 +84,7 @@ class Marking:
             return self.as_dict(drop_zeros=True) == other.as_dict(drop_zeros=True)
         if isinstance(other, Mapping):
             return self.as_dict(drop_zeros=True) == {
-                key: value for key, value in other.items() if value
+                key: value for key, value in other.items() if value  # repro: ignore[DET001] dict equality is order-insensitive
             }
         return NotImplemented
 
@@ -141,7 +141,7 @@ class Marking:
     def as_dict(self, drop_zeros: bool = False) -> Dict[str, int]:
         """The marking as a plain dictionary."""
         if drop_zeros:
-            return {name: count for name, count in self._tokens.items() if count}
+            return {name: count for name, count in self._tokens.items() if count}  # repro: ignore[DET001] deliberately preserves this marking's own insertion order
         return dict(self._tokens)
 
     def total_tokens(self) -> int:
@@ -168,7 +168,7 @@ class FrozenMarking:
 
     def __init__(self, tokens: Mapping[str, int] | None = None) -> None:
         items = []
-        for name, count in (tokens or {}).items():
+        for name, count in (tokens or {}).items():  # repro: ignore[DET001] collected items are sorted two lines below
             count = int(count)
             if count < 0:
                 raise ValueError(
@@ -177,7 +177,7 @@ class FrozenMarking:
             if count:
                 items.append((str(name), count))
         self._items: tuple[tuple[str, int], ...] = tuple(sorted(items))
-        self._hash = hash(self._items)
+        self._hash = hash(self._items)  # repro: ignore[DET002] in-process memo of the canonical tuple's hash for dict keying; never ordered, persisted, or seeded
         self._lookup: Dict[str, int] | None = None
 
     @classmethod
@@ -190,7 +190,7 @@ class FrozenMarking:
         """
         frozen = cls.__new__(cls)
         frozen._items = tuple(sorted(item for item in tokens.items() if item[1]))
-        frozen._hash = hash(frozen._items)
+        frozen._hash = hash(frozen._items)  # repro: ignore[DET002] same in-process hash memo as __init__
         frozen._lookup = None
         return frozen
 
@@ -227,7 +227,7 @@ class FrozenMarking:
             return self.as_dict() == (
                 other.as_dict(drop_zeros=True)
                 if isinstance(other, Marking)
-                else {k: v for k, v in other.items() if v}
+                else {k: v for k, v in other.items() if v}  # repro: ignore[DET001] dict equality is order-insensitive
             )
         return NotImplemented
 

@@ -109,24 +109,24 @@ class SANModel:
     @property
     def places(self) -> list[Place]:
         """All places, in insertion order."""
-        return list(self._places.values())
+        return list(self._places.values())  # repro: ignore[DET001] insertion order is the documented API contract ("in insertion order")
 
     @property
     def activities(self) -> list[Activity]:
         """All activities, in insertion order."""
-        return list(self._activities.values())
+        return list(self._activities.values())  # repro: ignore[DET001] insertion order is the documented API contract ("in insertion order")
 
     @property
     def timed_activities(self) -> list[TimedActivity]:
         """Only the timed activities."""
-        return [a for a in self._activities.values() if isinstance(a, TimedActivity)]
+        return [a for a in self._activities.values() if isinstance(a, TimedActivity)]  # repro: ignore[DET001] declaration order, same contract as .activities
 
     @property
     def instantaneous_activities(self) -> list[InstantaneousActivity]:
         """Only the instantaneous activities."""
         return [
             a
-            for a in self._activities.values()
+            for a in self._activities.values()  # repro: ignore[DET001] declaration order, same contract as .activities
             if isinstance(a, InstantaneousActivity)
         ]
 
@@ -164,7 +164,10 @@ class SANModel:
         """
         if self._validated_version == self._version:
             return
-        for activity in self._activities.values():
+        # sorted() so which validation error is raised first never
+        # depends on declaration order (validation only raises; it cannot
+        # influence simulation state).
+        for activity in sorted(self._activities.values(), key=lambda a: a.name):
             for place, _weight in activity.input_arcs:
                 if place not in self._places:
                     raise SANValidationError(
@@ -182,7 +185,9 @@ class SANModel:
 
     def initial_marking(self) -> Marking:
         """The initial marking declared by the places."""
-        return Marking({place.name: place.initial for place in self._places.values()})
+        return Marking(
+            {place.name: place.initial for place in self._places.values()}  # repro: ignore[DET001] marking mirrors declaration order; freeze() imposes the canonical sorted order
+        )
 
     # ------------------------------------------------------------------
     def summary(self) -> str:

@@ -13,7 +13,10 @@ from __future__ import annotations
 import math
 import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+if TYPE_CHECKING:
+    from concurrent.futures import ProcessPoolExecutor
 
 from repro.des.simulator import Simulator
 from repro.san.executor import SANExecutor
@@ -176,7 +179,7 @@ class SimulativeSolver:
         self.executor_class = executor_class
         self._cached_model: Optional[SANModel] = None
 
-    def __getstate__(self):
+    def __getstate__(self) -> Dict[str, Any]:
         # The cached model may hold unpicklable gate closures; workers
         # rebuild (and re-cache) their own copy from the factory.
         state = self.__dict__.copy()
@@ -304,7 +307,7 @@ class SimulativeSolver:
         return result
 
     # ------------------------------------------------------------------
-    def _make_pool(self, jobs: Optional[int]):
+    def _make_pool(self, jobs: Optional[int]) -> Optional[ProcessPoolExecutor]:
         """One executor for a whole precision loop (``None`` when serial).
 
         The loop executes many small chunks; paying a process-pool startup
@@ -323,7 +326,10 @@ class SimulativeSolver:
         return ProcessPoolExecutor(max_workers=resolved)
 
     def _run_indices(
-        self, indices: Iterable[int], jobs: Optional[int], pool=None
+        self,
+        indices: Iterable[int],
+        jobs: Optional[int],
+        pool: Optional[ProcessPoolExecutor] = None,
     ) -> List[ReplicationResult]:
         """Run the given replication indices, serially or on a worker pool.
 

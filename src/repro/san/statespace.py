@@ -50,7 +50,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 from scipy import sparse
 
-from repro.san.activities import Activity, InstantaneousActivity, TimedActivity
+from repro.san.activities import Activity, Case, InstantaneousActivity, TimedActivity
 from repro.san.marking import FrozenMarking, Marking
 from repro.san.model import SANModel
 from repro.stats.distributions import Exponential
@@ -218,7 +218,9 @@ def _exponential_rate(activity: TimedActivity, marking: Marking) -> float:
     return dist.rate
 
 
-def _case_distribution(activity: Activity, marking: Marking):
+def _case_distribution(
+    activity: Activity, marking: Marking
+) -> List[Tuple[Case, float]]:
     """The normalised case probabilities of ``activity`` in ``marking``."""
     weights = [case.weight(marking) for case in activity.cases]
     if any(weight < 0 for weight in weights):
@@ -232,7 +234,7 @@ def _case_distribution(activity: Activity, marking: Marking):
         )
     return [
         (case, weight / total)
-        for case, weight in zip(activity.cases, weights)
+        for case, weight in zip(activity.cases, weights, strict=True)
         if weight / total > PROBABILITY_EPSILON
     ]
 
@@ -350,7 +352,10 @@ def generate_state_space(
         initial_probability[state] = (
             initial_probability.get(state, 0.0) + probability
         )
-        for name, count in fired.items():
+        # sorted() so the accumulator's key order never depends on the
+        # firing-dict's mutation history (each key accumulates
+        # independently, so sorting cannot change any value).
+        for name, count in sorted(fired.items()):
             initial_completions[name] = (
                 initial_completions.get(name, 0.0) + count * probability
             )
@@ -388,12 +393,14 @@ def generate_state_space(
                     completions[activity.name] = (
                         completions.get(activity.name, 0.0) + edge_rate
                     )
-                    for name, count in fired.items():
+                    # sorted() for the same per-key-independence reason as
+                    # the initial-completions accumulation above.
+                    for name, count in sorted(fired.items()):
                         completions[name] = (
                             completions.get(name, 0.0) + count * edge_rate
                         )
                     edges[target] = (total_rate + edge_rate, completions)
-        for target, (rate, completions) in edges.items():
+        for target, (rate, completions) in edges.items():  # repro: ignore[DET001] keyed by interned state id; insertion order is the deterministic discovery order, and sorting would reorder downstream float accumulation
             transitions.append(
                 Transition(
                     source=source,
@@ -412,7 +419,8 @@ def generate_state_space(
 
     n = len(states)
     initial = np.zeros(n)
-    for state, probability in initial_probability.items():
+    # sorted() is free here: each state index is written exactly once.
+    for state, probability in sorted(initial_probability.items()):
         initial[state] = probability
     if not math.isclose(float(initial.sum()), 1.0, rel_tol=1e-9):
         raise StateSpaceError(

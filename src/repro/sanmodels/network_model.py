@@ -242,7 +242,7 @@ def add_broadcast_path(
             rank=SEIZE_NET_RANK,
         )
     )
-    fanout = [f"{base}.{dst}.recvq" for dst in destinations] + [NETWORK_PLACE]
+    fanout = [*(f"{base}.{dst}.recvq" for dst in destinations), NETWORK_PLACE]
     model.add_activity(
         TimedActivity(
             name=f"{base}.transmit",

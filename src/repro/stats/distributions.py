@@ -243,21 +243,21 @@ class Mixture:
         return self._dists[index].sample(rng)
 
     def mean(self) -> float:
-        return float(sum(w * d.mean() for w, d in zip(self._weights, self._dists)))
+        return float(sum(w * d.mean() for w, d in zip(self._weights, self._dists, strict=True)))
 
     def variance(self) -> float:
         mean = self.mean()
         second_moment = float(
             sum(
                 w * (d.variance() + d.mean() ** 2)
-                for w, d in zip(self._weights, self._dists)
+                for w, d in zip(self._weights, self._dists, strict=True)
             )
         )
         return second_moment - mean**2
 
     def __repr__(self) -> str:
         parts = ", ".join(
-            f"{w:.3g}*{d!r}" for w, d in zip(self._weights, self._dists)
+            f"{w:.3g}*{d!r}" for w, d in zip(self._weights, self._dists, strict=True)
         )
         return f"Mixture({parts})"
 

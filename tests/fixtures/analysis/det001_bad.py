@@ -1,0 +1,13 @@
+"""DET001 fixture: order-sensitive iteration over unordered views."""
+
+
+def totals(counts):
+    out = []
+    for name, value in counts.items():  # finding: for-loop over .items()
+        out.append((name, value))
+    names = [key for key in counts.keys()]  # finding: list comp over .keys()
+    tags = list({"b", "a"})  # finding: list() of a set literal
+    for tag in set(names):  # finding: for-loop over set()
+        out.append(tag)
+    pairs = {k: v for k, v in counts.items()}  # finding: dict comp over .items()
+    return out, names, tags, pairs

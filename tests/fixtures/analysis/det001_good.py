@@ -1,0 +1,12 @@
+"""DET001 fixture: the compliant spellings of det001_bad.py."""
+
+
+def totals(counts):
+    out = []
+    for name, value in sorted(counts.items()):  # sorted() imposes an order
+        out.append((name, value))
+    total = sum(value for value in counts.values())  # order-insensitive reducer
+    live = any(value > 0 for value in counts.values())  # order-insensitive reducer
+    names = {name for name in counts.keys()}  # set comprehension: a set again
+    width = len(set(names))  # len() is order-insensitive
+    return out, total, live, names, width

@@ -1,0 +1,9 @@
+"""DET002 fixture: builtin hash() outside the whitelisted functions."""
+
+
+def derive_seed(kind):
+    return 1000 + hash(kind)  # finding: the PR-1 figure 9 bug shape
+
+
+def bucket(self, name):
+    return hash(name) % 8  # finding: hash-derived placement

@@ -1,0 +1,16 @@
+"""DET002 fixture: hash() in its two whitelisted homes."""
+
+import hashlib
+
+
+class Key:
+    def __init__(self, items):
+        self._items = tuple(items)
+
+    def __hash__(self):
+        return hash(self._items)  # whitelisted: inside __hash__
+
+
+def _stable_hash(name):
+    digest = hashlib.sha256(name.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")

@@ -1,0 +1,15 @@
+"""DET003 fixture: draws from hidden module-level RNG state."""
+
+import random
+
+import numpy as np
+from random import gauss
+
+
+def draw():
+    a = random.random()  # finding: stdlib global stream
+    b = gauss(0.0, 1.0)  # finding: from-imported stdlib global stream
+    np.random.seed(7)  # finding: reseeds the numpy global state
+    c = np.random.rand(3)  # finding: draws from the numpy global state
+    rng = np.random.default_rng()  # finding: unseeded generator
+    return a, b, c, rng

@@ -1,0 +1,9 @@
+"""DET003 fixture: named streams and explicit seeded generators."""
+
+import numpy as np
+
+
+def draw(rng: np.random.Generator):
+    sequence = np.random.SeedSequence(42)  # constructing a seed is fine
+    local = np.random.default_rng(sequence)  # seeded generator is fine
+    return rng.random() + local.random()

@@ -1,0 +1,12 @@
+"""DET004 fixture: wall-clock reads inside simulation code."""
+
+import time
+from datetime import datetime
+from time import perf_counter
+
+
+def stamp(event):
+    event.at = time.time()  # finding: wall clock into event state
+    event.when = datetime.now()  # finding: wall clock into event state
+    event.tick = perf_counter()  # finding: from-imported clock read
+    return event

@@ -1,0 +1,6 @@
+"""DET004 fixture: simulated time comes from the simulator."""
+
+
+def stamp(event, sim):
+    event.at = sim.now  # simulated clock, not the host clock
+    return event

@@ -1,0 +1,7 @@
+"""DET005 fixture: identity-keyed and identity-ordered simulation state."""
+
+
+def schedule(events):
+    by_identity = {id(event): event for event in events}  # finding
+    events.sort(key=lambda event: id(event))  # finding: identity ordering
+    return by_identity, events

@@ -1,0 +1,7 @@
+"""DET005 fixture: stable names and sequence numbers key state."""
+
+
+def schedule(events):
+    by_name = {event.name: event for event in events}
+    events.sort(key=lambda event: (event.time, event.seq))
+    return by_name, events

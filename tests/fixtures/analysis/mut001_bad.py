@@ -1,0 +1,14 @@
+"""MUT001 fixture: shared mutable defaults on dataclass fields.
+
+Never imported (dataclasses would reject the bare literals at class
+creation); the analyzer flags them from source alone.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Plan:
+    steps: list = []  # finding: literal default shared across instances
+    index: dict = dict()  # finding: constructor-call default
+    extras: list = field(default=[])  # finding: hidden inside field(default=...)

@@ -1,0 +1,13 @@
+"""MUT001 fixture: per-instance factories and true class constants."""
+
+from dataclasses import dataclass, field
+from typing import ClassVar
+
+
+@dataclass
+class Plan:
+    steps: list = field(default_factory=list)
+    index: dict = field(default_factory=dict)
+    count: int = 0
+    KINDS: ClassVar[tuple] = ("a", "b")
+    TABLE: ClassVar[dict] = {}  # ClassVar: deliberately class-shared

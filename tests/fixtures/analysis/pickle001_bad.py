@@ -1,0 +1,16 @@
+"""PICKLE001 fixture: unpicklable payloads in plan constructors."""
+
+from repro.experiments.runner import ReplicationPlan, SweepPoint
+
+
+def build_plan(settings, values):
+    def run_one(value, point_seed):  # locally defined: cannot pickle
+        return value * point_seed
+
+    points = [
+        SweepPoint.make(lambda value, point_seed: value, {"value": v})  # finding
+        for v in values
+    ]
+    points.append(SweepPoint.make(run_one, {"value": 0}))  # finding
+    points.append(SweepPoint(func=lambda point_seed: point_seed))  # finding
+    return ReplicationPlan(settings=settings, points=tuple(points))

@@ -1,0 +1,15 @@
+"""PICKLE001 fixture: module-level point functions pickle fine."""
+
+from repro.experiments.runner import ReplicationPlan, SweepPoint
+
+
+def run_one(value, point_seed):  # module level: picklable
+    return value * point_seed
+
+
+def build_plan(settings, values):
+    points = tuple(
+        SweepPoint.make(run_one, {"value": v}, indices=(i,))
+        for i, v in enumerate(values)
+    )
+    return ReplicationPlan(settings=settings, points=points)

@@ -1,0 +1,12 @@
+"""Suppression fixture: one of each suppression outcome.
+
+Line numbers matter to the tests; edit with care.
+"""
+
+
+def derive(kind, counts):
+    good = hash(kind)  # repro: ignore[DET002] fixture: justified suppression
+    bad = hash(kind)  # repro: ignore[DET002]
+    alone = 3  # repro: ignore[DET002] nothing to suppress on this line
+    broken = 4  # repro: ignore no brackets at all
+    return good, bad, alone, broken

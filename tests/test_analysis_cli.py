@@ -1,0 +1,122 @@
+"""CLI contract for ``python -m repro.analysis``: exit codes and formats."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.__main__ import build_parser, main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture
+def dirty_tree(tmp_path):
+    """A tiny repo-shaped tree with one DET002 finding in src/repro/."""
+    package = tmp_path / "src" / "repro" / "des"
+    package.mkdir(parents=True)
+    (package / "sim.py").write_text(
+        "def key(name):\n    return hash(name)\n", encoding="utf-8"
+    )
+    return tmp_path
+
+
+def run_cli(argv):
+    return main([str(arg) for arg in argv])
+
+
+def test_exit_zero_on_clean_repo_package(capsys):
+    code = run_cli(["src/repro/analysis", "--root", REPO_ROOT])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "0 findings" in out
+
+
+def test_exit_one_on_findings(dirty_tree, capsys):
+    code = run_cli(["src", "--root", dirty_tree])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "DET002" in out
+    assert "src/repro/des/sim.py:2" in out
+
+
+def test_exit_two_on_missing_path(capsys):
+    code = run_cli(["no/such/path", "--root", REPO_ROOT])
+    assert code == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_exit_two_on_unknown_select(capsys):
+    code = run_cli(["src", "--root", REPO_ROOT, "--select", "BOGUS9"])
+    assert code == 2
+    assert "unknown rule code" in capsys.readouterr().err
+
+
+def test_exit_two_on_malformed_baseline(dirty_tree, capsys):
+    bad = dirty_tree / "baseline.json"
+    bad.write_text("[]", encoding="utf-8")
+    code = run_cli(["src", "--root", dirty_tree, "--baseline", bad])
+    assert code == 2
+    assert "baseline" in capsys.readouterr().err
+
+
+def test_json_format(dirty_tree, capsys):
+    code = run_cli(["src", "--root", dirty_tree, "--format", "json"])
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["summary"]["active"] == 1
+    assert payload["findings"][0]["code"] == "DET002"
+
+
+def test_github_format(dirty_tree, capsys):
+    code = run_cli(["src", "--root", dirty_tree, "--format", "github"])
+    assert code == 1
+    captured = capsys.readouterr()
+    assert captured.out.startswith("::error file=src/repro/des/sim.py,line=2")
+    assert "DET002" in captured.err  # human summary still lands on stderr
+
+
+def test_select_skips_other_rules(dirty_tree, capsys):
+    code = run_cli(["src", "--root", dirty_tree, "--select", "DET004"])
+    assert code == 0
+    assert "0 findings" in capsys.readouterr().out
+
+
+def test_baseline_write_then_gate(dirty_tree, capsys):
+    baseline = dirty_tree / "baseline.json"
+    assert run_cli(["src", "--root", dirty_tree, "--baseline", baseline, "--write-baseline"]) == 0
+    assert "recorded 1 findings" in capsys.readouterr().out
+
+    # Gated run: the recorded finding no longer fails...
+    assert run_cli(["src", "--root", dirty_tree, "--baseline", baseline]) == 0
+    assert "1 baselined" in capsys.readouterr().out
+
+    # ...but a new finding still does.
+    sim = dirty_tree / "src" / "repro" / "des" / "sim.py"
+    sim.write_text(sim.read_text(encoding="utf-8") + "SALT = hash('x')\n", encoding="utf-8")
+    assert run_cli(["src", "--root", dirty_tree, "--baseline", baseline]) == 1
+
+
+def test_write_baseline_requires_baseline_path():
+    with pytest.raises(SystemExit) as excinfo:
+        run_cli(["src", "--root", REPO_ROOT, "--write-baseline"])
+    assert excinfo.value.code == 2
+
+
+def test_list_rules(capsys):
+    assert run_cli(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("DET001", "DET002", "DET003", "DET004", "DET005", "PICKLE001", "MUT001"):
+        assert code in out
+
+
+def test_show_suppressed_includes_suppressed_findings(capsys):
+    run_cli(["src/repro/analysis", "--root", REPO_ROOT, "--show-suppressed"])
+    out = capsys.readouterr().out
+    assert "suppressed" in out
+
+
+def test_default_paths():
+    parser = build_parser()
+    options = parser.parse_args([])
+    assert options.paths == ["src", "tests", "benchmarks"]

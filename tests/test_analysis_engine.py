@@ -1,0 +1,182 @@
+"""Engine behavior: suppressions, baselines, discovery -- and the
+self-hosting gate that keeps this repository clean."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Scope, analyze_paths, load_baseline, write_baseline
+from repro.analysis.engine import PARSE_CODE, SUPPRESSION_CODE, discover_files
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURES = REPO_ROOT / "tests" / "fixtures" / "analysis"
+EVERYWHERE = Scope(include=("*",))
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+def suppression_fixture_result():
+    return analyze_paths(
+        [str(FIXTURES / "suppressions.py")],
+        root=REPO_ROOT,
+        scopes={"DET002": EVERYWHERE},
+        select=["DET002"],
+    )
+
+
+def test_justified_suppression_suppresses():
+    result = suppression_fixture_result()
+    suppressed = [f for f in result.findings if f.status == "suppressed"]
+    assert len(suppressed) == 1
+    assert suppressed[0].code == "DET002"
+    assert suppressed[0].suppress_reason == "fixture: justified suppression"
+
+
+def test_unjustified_suppression_does_not_suppress():
+    result = suppression_fixture_result()
+    active_det002 = [f for f in result.unsuppressed if f.code == "DET002"]
+    assert len(active_det002) == 1, "reason-less ignore must leave the finding live"
+    messages = [f.message for f in result.unsuppressed if f.code == SUPPRESSION_CODE]
+    assert any("no justification" in message for message in messages)
+
+
+def test_unused_and_malformed_suppressions_reported():
+    result = suppression_fixture_result()
+    sup = [f for f in result.unsuppressed if f.code == SUPPRESSION_CODE]
+    assert len(sup) == 3  # reason-less, unused, and bracket-less
+    assert any("unused suppression" in f.message for f in sup)
+    assert any("malformed suppression" in f.message for f in sup)
+
+
+def test_suppression_in_string_literal_is_prose_not_suppression(tmp_path):
+    target = tmp_path / "docs.py"
+    target.write_text(
+        '"""Explains the # repro: ignore[DET002] comment syntax."""\n'
+        "HELP = \"suppress with '# repro: ignore[DET001] reason'\"\n",
+        encoding="utf-8",
+    )
+    result = analyze_paths([str(target)], root=tmp_path)
+    assert result.findings == []  # no SUP001: strings are not comments
+
+
+def test_suppression_must_match_the_code(tmp_path):
+    target = tmp_path / "wrong.py"
+    target.write_text(
+        "def f(kind):\n"
+        "    return hash(kind)  # repro: ignore[DET001] wrong code entirely\n",
+        encoding="utf-8",
+    )
+    result = analyze_paths(
+        [str(target)], root=tmp_path, scopes={"DET002": EVERYWHERE}
+    )
+    codes = sorted(f.code for f in result.unsuppressed)
+    # The DET002 finding survives and the DET001 ignore is unused.
+    assert codes == ["DET002", SUPPRESSION_CODE]
+
+
+# ----------------------------------------------------------------------
+# Baselines
+# ----------------------------------------------------------------------
+def test_baseline_roundtrip_and_line_number_independence(tmp_path):
+    target = tmp_path / "legacy.py"
+    target.write_text(
+        "def a(x):\n    return hash(x)\n\ndef b(y):\n    return hash(y)\n",
+        encoding="utf-8",
+    )
+    scopes = {"DET002": EVERYWHERE}
+    first = analyze_paths([str(target)], root=tmp_path, scopes=scopes)
+    assert len(first.unsuppressed) == 2
+
+    baseline_path = tmp_path / "baseline.json"
+    assert write_baseline(baseline_path, first) == 2
+    baseline = load_baseline(baseline_path)
+
+    second = analyze_paths([str(target)], root=tmp_path, scopes=scopes, baseline=baseline)
+    assert second.unsuppressed == []
+    assert [f.status for f in second.findings] == ["baselined", "baselined"]
+
+    # Unrelated edits above a finding do not invalidate the baseline,
+    # and a *new* finding is not grandfathered.
+    target.write_text(
+        "# a new leading comment shifts every line number\n"
+        "def a(x):\n    return hash(x)\n\ndef b(y):\n    return hash(y)\n"
+        "\ndef c(z):\n    return hash(str(z))\n",
+        encoding="utf-8",
+    )
+    third = analyze_paths([str(target)], root=tmp_path, scopes=scopes, baseline=baseline)
+    assert len(third.unsuppressed) == 1
+    assert third.unsuppressed[0].line == 9
+
+
+def test_load_baseline_missing_and_malformed(tmp_path):
+    assert load_baseline(tmp_path / "absent.json") == set()
+    bad = tmp_path / "bad.json"
+    bad.write_text('["just", "a", "list"]', encoding="utf-8")
+    with pytest.raises(ValueError, match="not a repro.analysis baseline"):
+        load_baseline(bad)
+
+
+# ----------------------------------------------------------------------
+# Discovery and parse failures
+# ----------------------------------------------------------------------
+def test_directory_scan_skips_fixture_corpus():
+    files = discover_files(["tests"], REPO_ROOT)
+    as_posix = [str(path.as_posix()) for path in files]
+    assert not any("/fixtures/" in path for path in as_posix)
+    assert any(path.endswith("test_analysis_engine.py") for path in as_posix)
+
+
+def test_explicit_fixture_file_is_analyzed():
+    files = discover_files([str(FIXTURES / "det001_bad.py")], REPO_ROOT)
+    assert len(files) == 1
+
+
+def test_missing_path_raises():
+    with pytest.raises(FileNotFoundError):
+        discover_files(["no/such/dir"], REPO_ROOT)
+
+
+def test_unknown_select_code_raises():
+    with pytest.raises(KeyError, match="unknown rule codes"):
+        analyze_paths(["src"], root=REPO_ROOT, select=["NOPE001"])
+
+
+def test_syntax_error_becomes_parse_finding(tmp_path):
+    target = tmp_path / "broken.py"
+    target.write_text("def broken(:\n    pass\n", encoding="utf-8")
+    result = analyze_paths([str(target)], root=tmp_path)
+    assert [f.code for f in result.findings] == [PARSE_CODE]
+    assert result.unsuppressed, "parse failures must fail the gate"
+
+
+# ----------------------------------------------------------------------
+# Self-hosting: the repo gate, as a tier-1 test
+# ----------------------------------------------------------------------
+def test_analyzer_is_clean_on_its_own_package():
+    result = analyze_paths(["src/repro/analysis"], root=REPO_ROOT)
+    assert result.unsuppressed == []
+    for finding in result.findings:
+        assert finding.status == "suppressed"
+        assert finding.suppress_reason, "self-suppressions must be justified"
+
+
+def test_repo_has_zero_unsuppressed_findings():
+    """The CI gate, runnable locally: src, tests, benchmarks are clean."""
+    result = analyze_paths(["src", "tests", "benchmarks"], root=REPO_ROOT)
+    assert [f.location() for f in result.unsuppressed] == []
+    # Every suppression in the tree carries its justification.
+    for finding in result.findings:
+        if finding.status == "suppressed":
+            assert finding.suppress_reason
+
+
+def test_json_report_is_deterministic():
+    from repro.analysis import render_json
+
+    result = analyze_paths(["src/repro/analysis"], root=REPO_ROOT)
+    again = analyze_paths(["src/repro/analysis"], root=REPO_ROOT)
+    assert render_json(result) == render_json(again)
+    payload = json.loads(render_json(result))
+    assert set(payload) == {"files", "summary", "findings"}

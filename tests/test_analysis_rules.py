@@ -1,0 +1,157 @@
+"""Per-rule fixture tests for the determinism linter's rule set.
+
+Every rule has one known-bad fixture that must fire (with the exact
+expected finding count, so rules cannot silently widen or narrow) and
+one known-good fixture that must pass clean.  Fixtures live under
+``tests/fixtures/analysis/`` -- outside every rule's default package
+scope -- so each test aims its rule at the fixture with a scope
+override, which doubles as coverage of the engine's per-package scope
+configuration.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Scope, Severity, all_rules, analyze_paths, get_rule
+from repro.analysis.rules import _REGISTRY, Rule, register_rule
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURES = REPO_ROOT / "tests" / "fixtures" / "analysis"
+
+#: (rule code, bad fixture, expected findings in it).
+RULE_FIXTURES = [
+    ("DET001", "det001", 5),
+    ("DET002", "det002", 2),
+    ("DET003", "det003", 5),
+    ("DET004", "det004", 3),
+    ("DET005", "det005", 2),
+    ("PICKLE001", "pickle001", 3),
+    ("MUT001", "mut001", 3),
+]
+
+EVERYWHERE = Scope(include=("*",))
+
+
+def run_rule_on(filename: str, code: str):
+    """Analyze one fixture file with one rule, scope widened to match."""
+    return analyze_paths(
+        [str(FIXTURES / filename)],
+        root=REPO_ROOT,
+        scopes={code: EVERYWHERE},
+        select=[code],
+    )
+
+
+@pytest.mark.parametrize("code,stem,expected", RULE_FIXTURES)
+def test_bad_fixture_fires(code, stem, expected):
+    result = run_rule_on(f"{stem}_bad.py", code)
+    assert len(result.findings) == expected
+    assert all(finding.code == code for finding in result.findings)
+    assert all(finding.status == "active" for finding in result.findings)
+    lines = [finding.line for finding in result.findings]
+    assert lines == sorted(lines), "findings must come out in source order"
+    assert all(finding.path.endswith(f"{stem}_bad.py") for finding in result.findings)
+
+
+@pytest.mark.parametrize("code,stem,expected", RULE_FIXTURES)
+def test_good_fixture_passes(code, stem, expected):
+    result = run_rule_on(f"{stem}_good.py", code)
+    assert result.findings == []
+
+
+@pytest.mark.parametrize("code,stem,expected", RULE_FIXTURES)
+def test_suppressed_bad_fixture_passes(code, stem, expected, tmp_path):
+    """Appending a justified suppression to each finding line silences it."""
+    source = (FIXTURES / f"{stem}_bad.py").read_text(encoding="utf-8")
+    flagged = {finding.line for finding in run_rule_on(f"{stem}_bad.py", code).findings}
+    lines = source.splitlines()
+    for number in flagged:
+        lines[number - 1] += f"  # repro: ignore[{code}] fixture justification"
+    target = tmp_path / f"{stem}_suppressed.py"
+    target.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+    result = analyze_paths(
+        [str(target)], root=tmp_path, scopes={code: EVERYWHERE}, select=[code]
+    )
+    assert result.unsuppressed == []
+    suppressed = [f for f in result.findings if f.status == "suppressed"]
+    assert len(suppressed) == expected
+    assert all(f.suppress_reason == "fixture justification" for f in suppressed)
+
+
+# ----------------------------------------------------------------------
+# Default scopes
+# ----------------------------------------------------------------------
+def test_sim_scoped_rules_ignore_out_of_scope_files():
+    """Without an override, tests/fixtures is outside the sim packages."""
+    for code in ("DET001", "DET002", "DET004", "DET005"):
+        stem = code.lower()
+        result = analyze_paths(
+            [str(FIXTURES / f"{stem}_bad.py")], root=REPO_ROOT, select=[code]
+        )
+        assert result.findings == [], code
+
+
+def test_scope_patterns():
+    scope = Scope(include=("src/repro/des/*",), exclude=("src/repro/des/skip.py",))
+    assert scope.applies_to("src/repro/des/simulator.py")
+    assert scope.applies_to("src/repro/des/deep/nested.py")
+    assert not scope.applies_to("src/repro/stats/cdf.py")
+    assert not scope.applies_to("src/repro/des/skip.py")
+
+
+def test_det004_scope_exempts_artifacts_and_benchmarking():
+    scope = get_rule("DET004").scope
+    assert scope.applies_to("src/repro/des/simulator.py")
+    assert not scope.applies_to("src/repro/experiments/artifacts.py")
+    assert not scope.applies_to("src/repro/benchmarking.py")
+
+
+def test_det001_scope_includes_the_analyzer_itself():
+    assert get_rule("DET001").scope.applies_to("src/repro/analysis/engine.py")
+
+
+# ----------------------------------------------------------------------
+# Registry and rule metadata
+# ----------------------------------------------------------------------
+def test_registry_is_complete_and_ordered():
+    rules = all_rules()
+    codes = [rule.code for rule in rules]
+    assert codes == sorted(codes)
+    assert {code for code, _stem, _n in RULE_FIXTURES} <= set(codes)
+
+
+def test_every_rule_is_documented():
+    for rule in all_rules():
+        assert rule.code and rule.name, rule
+        assert len(rule.rationale) > 80, f"{rule.code} rationale is too thin"
+        assert rule.interests, rule.code
+        assert isinstance(rule.severity, Severity)
+
+
+def test_get_rule_unknown_code():
+    with pytest.raises(KeyError, match="unknown rule code"):
+        get_rule("NOPE999")
+
+
+def test_duplicate_rule_code_rejected():
+    class First(Rule):
+        code = "TST999"
+        name = "test-first"
+        rationale = "test"
+        interests = ()
+
+    class Second(Rule):
+        code = "TST999"
+        name = "test-second"
+        rationale = "test"
+        interests = ()
+
+    try:
+        register_rule(First)
+        with pytest.raises(ValueError, match="duplicate rule code"):
+            register_rule(Second)
+        register_rule(First)  # re-registering the same class is a no-op
+    finally:
+        _REGISTRY.pop("TST999", None)

@@ -91,7 +91,7 @@ def test_sequential_mode_never_overlaps_executions():
     starts = [entry.start_nominal for entry in result.recorder.instances]
     assert starts == sorted(starts)
     # Each execution starts only after the previous one decided.
-    for previous, entry in zip(result.recorder.instances, result.recorder.instances[1:]):
+    for previous, entry in zip(result.recorder.instances, result.recorder.instances[1:], strict=False):
         assert entry.start_nominal >= previous.first_decision_global
 
 

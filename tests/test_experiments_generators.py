@@ -107,7 +107,7 @@ def test_figure9_generator_reuses_figure8_measurements(settings):
     figure8 = run_figure8(settings)
     result = run_figure9(settings, figure8=figure8)
     assert set(result.points) == set(figure8.points)
-    for (n, timeout), point in result.points.items():
+    for (_n, _timeout), point in result.points.items():
         assert point.measured_latency_ms > 0 or math.isnan(point.measured_latency_ms)
         assert set(point.simulated_latency_ms) <= {"deterministic", "exponential"}
     measured = dict(result.measured_series(3))

@@ -196,7 +196,7 @@ def test_cached_points_are_not_resubmitted_to_the_pool(settings, tmp_path):
 def test_timing_hook_fires_once_per_point_in_plan_order(settings, jobs):
     plan = _plan(settings)
     seen = []
-    for point, _result in iter_plan(
+    for _point, _result in iter_plan(
         plan, jobs=jobs, timing_hook=lambda p, s, c: seen.append((p.label, s, c))
     ):
         pass

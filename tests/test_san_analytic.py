@@ -207,7 +207,7 @@ def test_horizon_mode_rate_and_impulse_rewards():
     # At t = 50 the chain is near-stationary (the empty start biases the
     # time average down by ~2%): mean queue length ~2.2667, service
     # throughput = mu * P(queue > 0).
-    steady_queue = sum(k * p for k, p in zip(range(4), [1 / 15, 2 / 15, 4 / 15, 8 / 15]))
+    steady_queue = sum(k * p for k, p in zip(range(4), [1 / 15, 2 / 15, 4 / 15, 8 / 15], strict=True))
     assert result.rewards["mean_queue"] == pytest.approx(steady_queue, rel=0.05)
     assert result.rewards["mean_queue"] < steady_queue  # burn-in bias is downward
     busy = 14 / 15

@@ -164,7 +164,7 @@ def test_golden_trace_is_reproduced_exactly():
     assert outcome.completions == len(GOLDEN_TRACE)
     assert not outcome.dead_marking
     assert [event[0] for event in recorder.events] == [e[0] for e in GOLDEN_TRACE]
-    for recorded, golden in zip(recorder.events, GOLDEN_TRACE):
+    for recorded, golden in zip(recorder.events, GOLDEN_TRACE, strict=True):
         activity, time, marking = recorded
         golden_activity, golden_time, golden_marking = golden
         assert activity == golden_activity
@@ -258,5 +258,5 @@ def test_trace_is_independent_of_pythonhashseed(hash_seed):
         env=environment,
         check=True,
     )
-    times = eval(completed.stdout.strip())  # noqa: S307 - our own repr output
+    times = eval(completed.stdout.strip())  # our own repr output
     assert times == [event[1] for event in GOLDEN_TRACE]

@@ -71,9 +71,9 @@ def test_markings_are_not_instances_of_hashable():
 
 def test_markings_cannot_be_dict_keys_or_set_members():
     with pytest.raises(TypeError):
-        {Marking(): 1}
+        _ = {Marking(): 1}
     with pytest.raises(TypeError):
-        {Marking({"a": 1})}
+        _ = {Marking({"a": 1})}
 
 
 def test_total_tokens_and_set_all():

@@ -50,7 +50,7 @@ def test_parallel_sweep_matches_serial_statistics(smoke_result):
     parallel = run_solver_compare(ExperimentSettings.smoke(), jobs=2)
     for key, point in smoke_result.points.items():
         other = parallel.point(key)
-        for mine, theirs in zip(point.rewards, other.rewards):
+        for mine, theirs in zip(point.rewards, other.rewards, strict=True):
             # Wall-clock differs between runs; the statistics must not.
             assert mine.analytic == theirs.analytic
             assert mine.simulative_mean == theirs.simulative_mean
@@ -71,7 +71,7 @@ def test_cache_round_trip(tmp_path, smoke_result):
 def test_plan_point_labels_and_indices():
     plan = solver_compare_plan(ExperimentSettings.smoke())
     assert len(plan.points) == len(COMPARE_MODELS)
-    for point, spec in zip(plan.points, COMPARE_MODELS):
+    for point, spec in zip(plan.points, COMPARE_MODELS, strict=True):
         assert spec.key in point.label
 
 
