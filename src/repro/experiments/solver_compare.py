@@ -3,10 +3,14 @@
 The analytic CTMC solver (:mod:`repro.san.analytic`) and the simulative
 solver (:mod:`repro.san.solver`) must agree wherever both apply: on models
 whose timed activities are all exponential.  This sweep solves each model
-of a small validation suite **both ways** and reports, per reward
-variable, the exact analytic value, the simulative mean with its 95%
-confidence interval, whether the exact value falls inside the interval,
-and the wall-clock speedup of the analytic solution.
+of a small validation suite **three ways** -- analytically, simulatively
+with the scalar executor, and simulatively with the lock-step batched
+executor (``strategy="batched"``) -- and reports, per reward variable,
+the exact analytic value, each simulative mean with its 95% confidence
+interval, whether the exact value falls inside the intervals, and the
+wall-clock speedups.  The scalar and batched legs share replication
+seeds, so their means are bit-identical; a divergence here is an
+executor-fidelity bug, not statistical noise.
 
 The suite covers the three layers of the paper's model stack
 (:mod:`repro.sanmodels.exponential`):
@@ -169,7 +173,13 @@ def compare_model_spec(key: str) -> CompareModelSpec:
 # ----------------------------------------------------------------------
 @dataclass
 class RewardComparison:
-    """Analytic-vs-simulative agreement for one reward variable."""
+    """Analytic-vs-simulative agreement for one reward variable.
+
+    ``batched_mean``/``batched_within_ci`` report the lock-step batched
+    executor's leg; ``batched_mean`` must equal ``simulative_mean``
+    bit-for-bit (shared replication seeds), so a mismatch flags an
+    executor-fidelity bug.
+    """
 
     reward: str
     analytic: float
@@ -177,11 +187,13 @@ class RewardComparison:
     ci_half_width: float
     within_ci: bool
     sample_size: int
+    batched_mean: float = float("nan")
+    batched_within_ci: bool = False
 
 
 @dataclass
 class SolverComparePoint:
-    """Both solutions of one validation model."""
+    """All three solutions of one validation model."""
 
     key: str
     description: str
@@ -189,6 +201,7 @@ class SolverComparePoint:
     replications: int
     analytic_seconds: float
     simulative_seconds: float
+    batched_seconds: float = float("nan")
     rewards: List[RewardComparison] = field(default_factory=list)
 
     @property
@@ -199,9 +212,19 @@ class SolverComparePoint:
         return self.simulative_seconds / self.analytic_seconds
 
     @property
+    def batched_speedup(self) -> float:
+        """Scalar simulative wall-clock divided by batched wall-clock."""
+        if self.batched_seconds <= 0:
+            return float("inf")
+        return self.simulative_seconds / self.batched_seconds
+
+    @property
     def all_within_ci(self) -> bool:
-        """``True`` if every reward's exact value fell inside the CI."""
-        return all(comparison.within_ci for comparison in self.rewards)
+        """``True`` if every reward's exact value fell inside the CIs."""
+        return all(
+            comparison.within_ci and comparison.batched_within_ci
+            for comparison in self.rewards
+        )
 
 
 @dataclass
@@ -263,6 +286,19 @@ def _solver_compare_point(
     simulative_result = simulative.solve(replications=replications)
     simulative_seconds = time.perf_counter() - started  # repro: ignore[DET004] measures solver wall-clock, the quantity this experiment reports; not simulation state
 
+    started = time.perf_counter()  # repro: ignore[DET004] measures solver wall-clock, the quantity this experiment reports; not simulation state
+    batched = SimulativeSolver(
+        model_factory=spec.model_factory,
+        reward_factory=spec.reward_factory,
+        stop_predicate=spec.stop_predicate,
+        max_time=spec.max_time,
+        seed=point_seed,
+        confidence=COMPARISON_CONFIDENCE,
+        reuse_model=True,
+    )
+    batched_result = batched.solve(replications=replications, strategy="batched")
+    batched_seconds = time.perf_counter() - started  # repro: ignore[DET004] measures solver wall-clock, the quantity this experiment reports; not simulation state
+
     point = SolverComparePoint(
         key=spec.key,
         description=spec.description,
@@ -270,10 +306,12 @@ def _solver_compare_point(
         replications=replications,
         analytic_seconds=analytic_seconds,
         simulative_seconds=simulative_seconds,
+        batched_seconds=batched_seconds,
     )
     for reward_name in spec.reward_names:
         exact = analytic_result.mean(reward_name)
         interval = simulative_result.interval(reward_name)
+        batched_interval = batched_result.interval(reward_name)
         point.rewards.append(
             RewardComparison(
                 reward=reward_name,
@@ -282,6 +320,8 @@ def _solver_compare_point(
                 ci_half_width=interval.half_width,
                 within_ci=interval.contains(exact),
                 sample_size=simulative_result.sample_size(reward_name),
+                batched_mean=batched_interval.mean,
+                batched_within_ci=batched_interval.contains(exact),
             )
         )
     return point
@@ -333,8 +373,9 @@ def format_solver_compare(result: SolverCompareResult) -> str:
     ``[... regenerated in X s]`` line the CLI already prints.
     """
     lines = [
-        "Solver comparison: analytic (exact CTMC) vs simulative (replications)",
-        "model           reward            analytic   simulative (95% CI)      in CI   states",
+        "Solver comparison: analytic (exact CTMC) vs simulative (scalar + batched)",
+        "model           reward            analytic   simulative (95% CI)      in CI"
+        "   batched     in CI   states",
     ]
     for spec in COMPARE_MODELS:
         if spec.key not in result.points:
@@ -347,7 +388,9 @@ def format_solver_compare(result: SolverCompareResult) -> str:
                 f"{comparison.reward:<16s} "
                 f"{comparison.analytic:9.4f}   "
                 f"{comparison.simulative_mean:9.4f} ± {comparison.ci_half_width:<8.4f}   "
-                f"{'yes' if comparison.within_ci else 'NO ':<5s}{tail}"
+                f"{'yes' if comparison.within_ci else 'NO ':<5s} "
+                f"{comparison.batched_mean:9.4f}   "
+                f"{'yes' if comparison.batched_within_ci else 'NO ':<5s}{tail}"
             )
     lines.append("")
     verdict = "agree" if result.all_within_ci else "DISAGREE"
@@ -362,7 +405,9 @@ def format_solver_compare(result: SolverCompareResult) -> str:
         lines.append(
             f"[{point.key}: analytic {point.analytic_seconds * 1e3:.1f} ms vs "
             f"simulative {point.simulative_seconds:.2f} s "
-            f"({point.replications} replications) -- {point.speedup:.0f}x]"
+            f"({point.replications} replications) -- {point.speedup:.0f}x; "
+            f"batched {point.batched_seconds:.2f} s -- "
+            f"{point.batched_speedup:.1f}x over scalar]"
         )
     return "\n".join(lines)
 
@@ -382,7 +427,9 @@ def solver_compare_record(result: SolverCompareResult) -> Dict[str, Any]:
                 "replications": point.replications,
                 "analytic_seconds": point.analytic_seconds,
                 "simulative_seconds": point.simulative_seconds,
+                "batched_seconds": point.batched_seconds,
                 "speedup": point.speedup,
+                "batched_speedup": point.batched_speedup,
                 "all_within_ci": point.all_within_ci,
                 "rewards": [
                     {
@@ -392,6 +439,8 @@ def solver_compare_record(result: SolverCompareResult) -> Dict[str, Any]:
                         "ci_half_width": comparison.ci_half_width,
                         "within_ci": comparison.within_ci,
                         "sample_size": comparison.sample_size,
+                        "batched_mean": comparison.batched_mean,
+                        "batched_within_ci": comparison.batched_within_ci,
                     }
                     for comparison in point.rewards
                 ],
@@ -413,6 +462,8 @@ def solver_compare_rows(result: SolverCompareResult):
         "simulative_mean",
         "ci_half_width",
         "within_ci",
+        "batched_mean",
+        "batched_within_ci",
         "sample_size",
         "n_states",
     ]
@@ -430,6 +481,8 @@ def solver_compare_rows(result: SolverCompareResult):
                     comparison.simulative_mean,
                     comparison.ci_half_width,
                     comparison.within_ci,
+                    comparison.batched_mean,
+                    comparison.batched_within_ci,
                     comparison.sample_size,
                     point.n_states,
                 ]

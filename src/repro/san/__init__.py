@@ -20,7 +20,11 @@ This package is the repository's stand-in for UltraSAN / Möbius, the
 * A **simulative solver** running independent replications until a target
   confidence-interval precision is reached (:mod:`repro.san.solver`)
   -- the paper had to use simulative solvers because of its
-  non-exponential distributions (§5).
+  non-exponential distributions (§5).  Replications run one at a time
+  through the scalar executor (:mod:`repro.san.executor`) or lock-step
+  in batches through a compiled form of the model
+  (:mod:`repro.san.compiled`, :mod:`repro.san.batched`) with
+  bit-identical results (``solve(..., strategy="batched")``).
 * An **analytic solver** for the exponential corner of the model space:
   reachability-graph state-space generation
   (:mod:`repro.san.statespace`) and exact CTMC solution -- steady state,
@@ -41,6 +45,8 @@ and gates are applied.
 
 from repro.san.activities import Activity, Case, InstantaneousActivity, TimedActivity
 from repro.san.analytic import AnalyticResult, AnalyticSolver, AnalyticSolverError
+from repro.san.batched import BatchedSANExecutor
+from repro.san.compiled import CompiledSANModel, RowMarking, compile_model
 from repro.san.composition import join, rename_model, replicate
 from repro.san.executor import SANExecutionError, SANExecutor
 from repro.san.gates import InputGate, OutputGate
@@ -69,7 +75,9 @@ __all__ = [
     "AnalyticResult",
     "AnalyticSolver",
     "AnalyticSolverError",
+    "BatchedSANExecutor",
     "Case",
+    "CompiledSANModel",
     "FirstPassageTime",
     "FrozenMarking",
     "InputGate",
@@ -82,6 +90,7 @@ __all__ = [
     "Place",
     "ReplicationResult",
     "RewardVariable",
+    "RowMarking",
     "SANExecutionError",
     "SANExecutor",
     "SANModel",
@@ -92,6 +101,7 @@ __all__ = [
     "StateSpaceError",
     "TimedActivity",
     "Transition",
+    "compile_model",
     "generate_state_space",
     "join",
     "rename_model",

@@ -1,0 +1,671 @@
+"""Lock-step batched execution of SAN replications.
+
+:class:`BatchedSANExecutor` runs ``B`` independent replications of one
+model together: the markings live in a ``B x places`` token matrix (one
+row per replication), scheduled timed completions in a ``B x timed``
+completion-time matrix, and each simulation round advances every active
+row by exactly one timed event -- selected with one vectorised
+``min``/``argmin`` over the completion matrix instead of ``B`` binary
+heaps.  Initial activation evaluates input arcs as one vectorised mask
+over the whole matrix (:meth:`CompiledSANModel.arc_enabled_mask`).
+
+Determinism contract (the *batched draw-order contract*)
+--------------------------------------------------------
+Every row is **bit-identical to the scalar executor** run with the same
+seed, at any batch size:
+
+* row ``r`` draws from its own ``RandomStreams(seed_r)`` with the same
+  named streams (``san.duration.<activity>`` / ``san.case.<activity>``)
+  the scalar executor derives from ``Simulator(seed_r)``, and batching
+  never interleaves draws across rows within a stream;
+* within a row, activities are walked in the scalar executor's exact
+  order (declaration order at start-up; conservative gates first, then
+  name-sorted changed places after each completion), so the per-row
+  sequence numbers -- which break same-instant completion ties exactly
+  like the scalar calendar's -- are assigned identically;
+* duration draws use the same pre-drawn per-stream batches
+  (:class:`~repro.san.executor._BatchedDurationSampler`), which numpy
+  guarantees bit-identical to repeated scalar draws.
+
+Consequently ``B=1`` reproduces the scalar golden traces float-for-float,
+and a ``B>1`` batch produces exactly the per-replication results the
+scalar replication loop would, merely faster.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.des.random import RandomStreams
+from repro.des.simulator import Simulator
+from repro.san.compiled import (
+    DURATION_BATCHED,
+    DURATION_CONSTANT,
+    CompiledActivity,
+    CompiledSANModel,
+    DurationSampler,
+    RowMarking,
+    compile_model,
+)
+from repro.san.executor import (
+    MAX_INSTANTANEOUS_CHAIN,
+    ExecutionResult,
+    MarkingPredicate,
+    SANExecutionError,
+    _BatchedDurationSampler,
+)
+from repro.san.marking import Marking
+from repro.san.model import SANModel
+from repro.san.rewards import RewardVariable
+
+_INF = math.inf
+
+
+class _Row:
+    """Per-replication state of one row of the batch."""
+
+    __slots__ = (
+        "index",
+        "tokens",
+        "marking",
+        "streams",
+        "rewards",
+        "samplers",
+        "case_rngs",
+        "next_seq",
+        "now",
+        "completions",
+        "stopped",
+    )
+
+    def __init__(
+        self,
+        index: int,
+        tokens: List[int],
+        marking: RowMarking,
+        streams: RandomStreams,
+        rewards: List[RewardVariable],
+        n_timed: int,
+    ) -> None:
+        self.index = index
+        self.tokens = tokens
+        self.marking = marking
+        self.streams = streams
+        self.rewards = rewards
+        #: Lazily-built duration samplers, indexed by timed-activity index
+        #: (the scalar executor memoises per name; the index is the name).
+        self.samplers: List[Optional[DurationSampler]] = [None] * n_timed
+        self.case_rngs: Dict[str, np.random.Generator] = {}
+        #: Mirrors the scalar calendar's sequence counter: bumped once per
+        #: schedule, never on cancellation, so same-instant completions
+        #: tie-break exactly like the scalar heap's ``(time, seq)`` order.
+        self.next_seq = 0
+        self.now = 0.0
+        self.completions = 0
+        self.stopped = False
+
+
+class BatchedSANExecutor:
+    """Executes ``B`` replications of a SAN model lock-step.
+
+    Two construction forms:
+
+    * **Scalar-compatible** (drop-in for :class:`~repro.san.executor.
+      SANExecutor`, used by golden-trace tests and ``executor_class``
+      hooks): ``BatchedSANExecutor(model, sim, rewards, initial_marking)``
+      runs a single row drawing from ``sim.random``; :meth:`run` returns
+      one :class:`ExecutionResult`.
+    * **Batched** (:meth:`for_batch`): one row per replication seed, each
+      with its own reward variables; :meth:`run_batch` returns the results
+      in row order.
+    """
+
+    def __init__(
+        self,
+        model: SANModel,
+        sim: Optional[Simulator] = None,
+        rewards: Sequence[RewardVariable] = (),
+        initial_marking: Optional[Marking] = None,
+        *,
+        streams: Optional[Sequence[RandomStreams]] = None,
+        rewards_per_row: Optional[Sequence[Sequence[RewardVariable]]] = None,
+        initial_markings: Optional[Sequence[Optional[Marking]]] = None,
+    ) -> None:
+        model.validate()
+        self.model = model
+        self._compiled: CompiledSANModel = compile_model(model)
+        if streams is None:
+            if sim is None:
+                raise TypeError(
+                    "BatchedSANExecutor needs a Simulator (scalar-compatible "
+                    "form) or explicit per-row streams (for_batch)"
+                )
+            streams = [sim.random]
+            rewards_per_row = [list(rewards)]
+            initial_markings = [initial_marking]
+        if rewards_per_row is None:
+            rewards_per_row = [[] for _ in streams]
+        if initial_markings is None:
+            initial_markings = [None] * len(streams)
+        if not (len(streams) == len(rewards_per_row) == len(initial_markings)):
+            raise ValueError(
+                "streams, rewards_per_row and initial_markings must have "
+                "one entry per row"
+            )
+        n_timed = self._compiled.n_timed
+        self._comp = np.full((len(streams), n_timed), _INF, dtype=np.float64)
+        self._seqs = np.zeros((len(streams), n_timed), dtype=np.int64)
+        self._rows: List[_Row] = []
+        for index, (row_streams, row_rewards, initial) in enumerate(
+            zip(streams, rewards_per_row, initial_markings, strict=True)
+        ):
+            tokens, overflow = self._initial_tokens(initial)
+            marking = RowMarking(self._compiled, tokens)
+            if overflow:
+                marking._overflow.update(overflow)
+            self._rows.append(
+                _Row(
+                    index,
+                    tokens,
+                    marking,
+                    row_streams,
+                    list(row_rewards),
+                    n_timed,
+                )
+            )
+        self._stop_predicate: Optional[MarkingPredicate] = None
+
+    @classmethod
+    def for_batch(
+        cls,
+        model: SANModel,
+        seeds: Sequence[int],
+        rewards_per_row: Sequence[Sequence[RewardVariable]],
+        initial_markings: Optional[Sequence[Optional[Marking]]] = None,
+    ) -> "BatchedSANExecutor":
+        """One row per replication seed (``RandomStreams(seed)`` each)."""
+        return cls(
+            model,
+            streams=[RandomStreams(seed) for seed in seeds],
+            rewards_per_row=rewards_per_row,
+            initial_markings=initial_markings,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection (tests and cross-checks)
+    # ------------------------------------------------------------------
+    @property
+    def batch_size(self) -> int:
+        """Number of replication rows in this executor."""
+        return len(self._rows)
+
+    @property
+    def completions(self) -> int:
+        """Completions of row 0 (scalar-compatible introspection)."""
+        return self._rows[0].completions
+
+    @property
+    def marking(self) -> Marking:
+        """Marking view of row 0 (scalar-compatible introspection)."""
+        return self._rows[0].marking
+
+    def tokens_matrix(self) -> np.ndarray:
+        """The current ``B x places`` token matrix (a snapshot copy)."""
+        return np.array([row.tokens for row in self._rows], dtype=np.int64)
+
+    def enabled_mask(
+        self, activities: Optional[Sequence[CompiledActivity]] = None
+    ) -> np.ndarray:
+        """Vectorised full-enablement mask over the current token matrix.
+
+        Defaults to all activities (timed then instantaneous); a
+        ``B x len(activities)`` boolean array.
+        """
+        if activities is None:
+            activities = self._compiled.timed + self._compiled.instantaneous
+        return self._compiled.enablement_mask(
+            self.tokens_matrix(),
+            activities,
+            [row.marking for row in self._rows],
+        )
+
+    def enabled_activity_names(self, row_index: int = 0) -> Set[str]:
+        """Names of every enabled activity in one row (mask-derived)."""
+        activities = self._compiled.timed + self._compiled.instantaneous
+        mask = self.enabled_mask(activities)[row_index]
+        return {
+            activity.name
+            for activity, flag in zip(activities, mask, strict=True)
+            if flag
+        }
+
+    def scheduled_activity_names(self, row_index: int = 0) -> Set[str]:
+        """Timed activities currently scheduled to complete in one row."""
+        comp_row = self._comp[row_index]
+        return {
+            activity.name
+            for activity in self._compiled.timed
+            if comp_row[activity.index] != _INF
+        }
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        until: Optional[float] = None,
+        stop_predicate: Optional[MarkingPredicate] = None,
+    ) -> ExecutionResult:
+        """Run a single-row batch (scalar-compatible form only)."""
+        if len(self._rows) != 1:
+            raise SANExecutionError(
+                f"run() is the single-replication interface; this executor "
+                f"has {len(self._rows)} rows -- use run_batch()"
+            )
+        return self.run_batch(until=until, stop_predicate=stop_predicate)[0]
+
+    def run_batch(
+        self,
+        until: Optional[float] = None,
+        stop_predicate: Optional[MarkingPredicate] = None,
+    ) -> List[ExecutionResult]:
+        """Run every row to termination; results in row order.
+
+        Each row terminates exactly like a scalar replication: stop
+        predicate, dead (drained) marking, or time horizon.
+        """
+        self._stop_predicate = stop_predicate
+        compiled = self._compiled
+        results: List[Optional[ExecutionResult]] = [None] * len(self._rows)
+
+        # Start-up, mirroring SANExecutor.run: clear the journal, reset
+        # rewards, check the stop predicate on the initial marking, then
+        # stabilise instantaneous activities.
+        active: List[_Row] = []
+        for row in self._rows:
+            row.marking.take_changes()
+            for reward in row.rewards:
+                reward.reset(row.marking, 0.0)
+            if stop_predicate is not None and stop_predicate(row.marking):
+                row.stopped = True
+                results[row.index] = self._finish(row, 0.0)
+                continue
+            self._fire_chain(row, None)
+            if row.stopped:
+                results[row.index] = self._finish(row, row.now)
+                continue
+            active.append(row)
+
+        # Initial activation: one vectorised arc mask over all still-active
+        # rows, then per-row gate checks and scheduling in declaration
+        # order (the scalar executor's seq-assignment order).
+        if active:
+            tokens_matrix = np.array(
+                [row.tokens for row in active], dtype=np.int64
+            )
+            arc_mask = compiled.arc_enabled_mask(tokens_matrix, compiled.timed)
+            for position, row in enumerate(active):
+                self._schedule_initial(row, arc_mask[position])
+
+        # Lock-step rounds: one timed event per active row per round,
+        # selected with a single vectorised min/argmin over the
+        # completion-time matrix.
+        comp = self._comp
+        seqs = self._seqs
+        while active:
+            indices = [row.index for row in active]
+            sub = comp[indices]
+            times = sub.min(axis=1)
+            columns = sub.argmin(axis=1)
+            tie_counts = (sub == times[:, None]).sum(axis=1)
+            still_active: List[_Row] = []
+            for position, row in enumerate(active):
+                time = float(times[position])
+                if time == _INF:
+                    # Calendar drained: dead marking (the scalar simulator
+                    # still advances the clock to the horizon, if any).
+                    end = row.now if until is None else max(row.now, until)
+                    results[row.index] = self._finish(row, end)
+                    continue
+                if until is not None and time > until:
+                    results[row.index] = self._finish(row, until)
+                    continue
+                column = int(columns[position])
+                if tie_counts[position] > 1:
+                    # Same-instant completions: the scalar heap pops the
+                    # lowest sequence number first.
+                    comp_row = comp[row.index]
+                    tied = np.flatnonzero(comp_row == time)
+                    column = int(tied[np.argmin(seqs[row.index][tied])])
+                row.now = time
+                self._fire_timed(row, column)
+                if row.stopped:
+                    results[row.index] = self._finish(row, row.now)
+                else:
+                    still_active.append(row)
+            active = still_active
+        return [result for result in results if result is not None]
+
+    # ------------------------------------------------------------------
+    # Row initialisation
+    # ------------------------------------------------------------------
+    def _initial_tokens(
+        self, initial: Optional[Marking]
+    ) -> Tuple[List[int], Dict[str, int]]:
+        """One token row (plus undeclared-name overflow) for a marking."""
+        compiled = self._compiled
+        if initial is None:
+            return list(compiled.initial_tokens), {}
+        tokens = [0] * compiled.n_places
+        overflow: Dict[str, int] = {}
+        for name, count in initial.as_dict().items():  # repro: ignore[DET001] row assembly; each name writes an independent slot
+            index = compiled.place_index.get(name)
+            if index is None:
+                overflow[name] = int(count)
+            else:
+                tokens[index] = int(count)
+        return tokens, overflow
+
+    def _schedule_initial(self, row: _Row, arc_mask: np.ndarray) -> None:
+        """Schedule the initially-enabled timed activities of one row."""
+        marking = row.marking
+        comp_row = self._comp[row.index]
+        seq_row = self._seqs[row.index]
+        for activity in self._compiled.timed:
+            if not arc_mask[activity.index]:
+                continue
+            enabled = True
+            for gate in activity.input_gates:
+                if not gate.predicate(marking):
+                    enabled = False
+                    break
+            if not enabled:
+                continue
+            sampler = row.samplers[activity.index]
+            if sampler is None:
+                sampler = self._make_sampler(row, activity)
+                row.samplers[activity.index] = sampler
+            comp_row[activity.index] = row.now + sampler(marking)
+            seq_row[activity.index] = row.next_seq
+            row.next_seq += 1
+
+    # ------------------------------------------------------------------
+    # Event processing
+    # ------------------------------------------------------------------
+    def _fire_timed(self, row: _Row, column: int) -> None:
+        """Complete the scheduled timed activity in ``column`` of a row."""
+        self._comp[row.index][column] = _INF
+        activity = self._compiled.timed[column]
+        if not activity.enabled(row.tokens, row.marking):
+            # Defensive: disabling should have cancelled the completion.
+            raise SANExecutionError(
+                f"timed activity {activity.name!r} fired while disabled"
+            )
+        changed_idx, changed_names = self._complete(row, activity)
+        if row.stopped:
+            return
+        chain_idx, chain_names = self._fire_chain(
+            row, self._affected_instantaneous(changed_idx, changed_names)
+        )
+        changed_idx |= chain_idx
+        changed_names |= chain_names
+        if row.stopped:
+            return
+        affected = self._affected_timed(changed_idx, changed_names)
+        if column not in affected:
+            affected[column] = activity
+        self._refresh_timed(row, affected)
+
+    def _complete(
+        self, row: _Row, activity: CompiledActivity
+    ) -> Tuple[Set[int], Set[str]]:
+        """Apply one completion; returns the changed (indices, names)."""
+        marking = row.marking
+        case = activity.single_case
+        if case is None:
+            rng = row.case_rngs.get(activity.name)
+            if rng is None:
+                rng = row.streams.stream(activity.case_stream)
+                row.case_rngs[activity.name] = rng
+            chosen = activity.activity.choose_case(marking, rng)
+            case = activity.case_lookup[id(chosen)]  # repro: ignore[DET005] identity lookup of the exact Case object choose_case returned; no ordering involved
+        tokens = row.tokens
+        place_names = self._compiled.place_names
+        changed_idx: Set[int] = set()
+        # SAN completion order: input arcs, input gate functions, output
+        # arcs of the chosen case, output gate functions.  Arc weights are
+        # >= 1, so every arc write changes its place's count -- journalling
+        # unconditionally matches the scalar marking's value-diff journal.
+        for place, weight in activity.input_arcs:
+            value = tokens[place] - weight
+            if value < 0:
+                raise ValueError(
+                    f"marking of place {place_names[place]!r} would become "
+                    f"negative ({value})"
+                )
+            tokens[place] = value
+            changed_idx.add(place)
+        for gate in activity.input_gates:
+            gate.apply(marking)
+        for place, weight in case.output_arcs:
+            tokens[place] += weight
+            changed_idx.add(place)
+        for out_gate in case.output_gates:
+            out_gate.apply(marking)
+        gate_idx, changed_names = marking.take_changes()
+        changed_idx |= gate_idx
+        row.completions += 1
+        now = row.now
+        name = activity.name
+        for reward in row.rewards:
+            reward.on_activity_completion(name, marking, now)
+            reward.on_marking_change(marking, now)
+        predicate = self._stop_predicate
+        if predicate is not None and predicate(marking):
+            row.stopped = True
+        return changed_idx, changed_names
+
+    def _fire_chain(
+        self, row: _Row, candidates: Optional[Set[int]]
+    ) -> Tuple[Set[int], Set[str]]:
+        """Fire enabled instantaneous activities until none remains.
+
+        ``candidates`` holds firing-precedence positions (``None`` means
+        "consider all", used at start-up); each round fires the
+        lowest-positioned enabled candidate, exactly like the scalar
+        executor's rank/definition-order chain.
+
+        Unlike the scalar chain, a candidate found *disabled* is dropped
+        from the set: it can only become enabled again through a marking
+        change, and every change re-adds the activities indexed under the
+        changed places (conservative ones are re-added after every
+        completion) -- so the drop never changes which activity fires
+        next, it just stops re-checking stale candidates every round.
+        """
+        compiled = self._compiled
+        instantaneous = compiled.instantaneous
+        if candidates is None:
+            candidates = set(range(len(instantaneous)))
+        tokens = row.tokens
+        marking = row.marking
+        changed_idx: Set[int] = set()
+        changed_names: Set[str] = set()
+        for _ in range(MAX_INSTANTANEOUS_CHAIN):
+            if not candidates:
+                return changed_idx, changed_names
+            fired = None
+            for position in sorted(candidates):
+                candidate = instantaneous[position]
+                enabled = True
+                for place, weight in candidate.input_arcs:
+                    if tokens[place] < weight:
+                        enabled = False
+                        break
+                if enabled:
+                    for gate in candidate.input_gates:
+                        if not gate.predicate(marking):
+                            enabled = False
+                            break
+                if enabled:
+                    fired = candidate
+                    break
+                candidates.discard(position)
+            if fired is None:
+                return changed_idx, changed_names
+            step_idx, step_names = self._complete(row, fired)
+            changed_idx |= step_idx
+            changed_names |= step_names
+            if row.stopped:
+                return changed_idx, changed_names
+            candidates |= self._affected_instantaneous(step_idx, step_names)
+        raise SANExecutionError(
+            f"model {self.model.name!r}: more than {MAX_INSTANTANEOUS_CHAIN} "
+            "consecutive instantaneous firings -- unstable (vanishing) loop?"
+        )
+
+    # ------------------------------------------------------------------
+    # Dependency walks (index-based mirrors of the scalar executor's)
+    # ------------------------------------------------------------------
+    def _affected_instantaneous(
+        self, changed_idx: Set[int], changed_names: Set[str]
+    ) -> Set[int]:
+        compiled = self._compiled
+        positions = set(compiled.global_inst_indices)
+        inst_by_place = compiled.inst_by_place
+        for place in changed_idx:
+            for activity in inst_by_place.get(place, ()):
+                positions.add(activity.index)
+        if changed_names:
+            inst_by_unknown = compiled.inst_by_unknown
+            for name in changed_names:
+                for activity in inst_by_unknown.get(name, ()):
+                    positions.add(activity.index)
+        return positions
+
+    def _affected_timed(
+        self, changed_idx: Set[int], changed_names: Set[str]
+    ) -> Dict[int, CompiledActivity]:
+        """Timed activities to re-evaluate, in the scalar executor's order.
+
+        Conservative (undeclared-watch) activities first in declaration
+        order, then the changed places walked in *name-sorted* order --
+        the insertion order of this dict is the refresh (and therefore
+        seq-assignment) order, exactly like the scalar ``_affected_timed``.
+        """
+        compiled = self._compiled
+        affected: Dict[int, CompiledActivity] = {
+            activity.index: activity for activity in compiled.global_timed
+        }
+        timed_by_place = compiled.timed_by_place
+        if changed_names:
+            # Slow path (gate wrote an undeclared place): fall back to the
+            # scalar executor's literal name-sorted walk over all changed
+            # names, declared and undeclared interleaved.
+            names = {
+                compiled.place_names[index] for index in changed_idx
+            } | changed_names
+            place_index = compiled.place_index
+            timed_by_unknown = compiled.timed_by_unknown
+            for name in sorted(names):
+                index = place_index.get(name)
+                bucket = (
+                    timed_by_place.get(index, ())
+                    if index is not None
+                    else timed_by_unknown.get(name, ())
+                )
+                for activity in bucket:
+                    affected[activity.index] = activity
+            return affected
+        sort_rank = compiled.place_sort_rank
+        for place in sorted(changed_idx, key=sort_rank.__getitem__):
+            for activity in timed_by_place.get(place, ()):
+                affected[activity.index] = activity
+        return affected
+
+    def _refresh_timed(
+        self, row: _Row, affected: Dict[int, CompiledActivity]
+    ) -> None:
+        """Re-evaluate enablement of the affected timed activities."""
+        tokens = row.tokens
+        marking = row.marking
+        comp_row = self._comp[row.index]
+        seq_row = self._seqs[row.index]
+        samplers = row.samplers
+        for activity in affected.values():  # repro: ignore[DET001] insertion order is the documented refresh-order contract of _affected_timed
+            index = activity.index
+            scheduled = comp_row[index] != _INF
+            if activity.enabled(tokens, marking):
+                if not scheduled:
+                    sampler = samplers[index]
+                    if sampler is None:
+                        sampler = self._make_sampler(row, activity)
+                        samplers[index] = sampler
+                    comp_row[index] = row.now + sampler(marking)
+                    seq_row[index] = row.next_seq
+                    row.next_seq += 1
+            elif scheduled:
+                comp_row[index] = _INF
+
+    # ------------------------------------------------------------------
+    # Duration sampling
+    # ------------------------------------------------------------------
+    def _make_sampler(
+        self, row: _Row, activity: CompiledActivity
+    ) -> DurationSampler:
+        """Per-(row, activity) duration sampler; scalar classification.
+
+        Constants never touch their stream (in the scalar executor the
+        stream object is created but never drawn from -- stream derivation
+        is a pure function of (seed, name), so not creating it here is
+        draw-for-draw identical); batchable fixed distributions share the
+        scalar executor's pre-drawing sampler; everything else falls back
+        to the generic one-draw-per-call path.
+        """
+        kind = activity.duration_kind
+        if kind == DURATION_CONSTANT:
+            constant = activity.constant_duration
+            if constant < 0:
+                raise ValueError(
+                    f"activity {activity.name!r}: sampled a negative "
+                    f"duration {constant}"
+                )
+
+            def constant_sampler(_marking: Marking, _value: float = constant) -> float:
+                return _value
+
+            return constant_sampler
+        rng = row.streams.stream(activity.duration_stream)
+        if kind == DURATION_BATCHED:
+            return _BatchedDurationSampler(
+                activity.distribution, rng, activity.name
+            )
+        timed_activity = activity.activity
+
+        def generic_sampler(marking: Marking) -> float:
+            return timed_activity.sample_duration(marking, rng)  # type: ignore[attr-defined]
+
+        return generic_sampler
+
+    # ------------------------------------------------------------------
+    # Termination
+    # ------------------------------------------------------------------
+    def _finish(self, row: _Row, end_time: float) -> ExecutionResult:
+        row.now = end_time
+        for reward in row.rewards:
+            reward.finalize(row.marking, end_time)
+        dead = not row.stopped and not bool(
+            np.isfinite(self._comp[row.index]).any()
+        )
+        return ExecutionResult(
+            end_time=end_time,
+            stopped_by_predicate=row.stopped,
+            dead_marking=dead,
+            completions=row.completions,
+            final_marking=row.marking.copy(),
+        )
+
+
+__all__ = ["BatchedSANExecutor"]

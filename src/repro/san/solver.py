@@ -19,6 +19,7 @@ if TYPE_CHECKING:
     from concurrent.futures import ProcessPoolExecutor
 
 from repro.des.simulator import Simulator
+from repro.san.batched import BatchedSANExecutor
 from repro.san.executor import SANExecutor
 from repro.san.marking import Marking
 from repro.san.model import SANModel
@@ -29,6 +30,12 @@ from repro.stats.descriptive import ConfidenceInterval, confidence_interval
 ModelFactory = Callable[[], SANModel]
 RewardFactory = Callable[[], Sequence[RewardVariable]]
 MarkingPredicate = Callable[[Marking], bool]
+
+#: Default replications per lock-step batch under ``strategy="batched"``.
+#: Large enough to amortise the per-round vectorised bookkeeping, small
+#: enough that per-row divergence (finished rows idling in the batch)
+#: stays cheap.
+DEFAULT_BATCH_SIZE = 256
 
 
 @dataclass
@@ -139,6 +146,10 @@ class SimulativeSolver:
         it, so results are reproducible and replications are independent.
     confidence:
         Confidence level for the reported intervals (paper: 0.90).
+    batched_executor_class:
+        The executor used by ``solve(..., strategy="batched")``: a class
+        with :class:`~repro.san.batched.BatchedSANExecutor`'s ``for_batch``
+        / ``run_batch`` interface, swappable like ``executor_class``.
     reuse_model:
         Build the model once (per process) and execute every replication
         against the same instance instead of calling ``model_factory`` per
@@ -165,6 +176,7 @@ class SimulativeSolver:
         initial_marking_factory: Optional[Callable[[SANModel], Marking]] = None,
         reuse_model: bool = False,
         executor_class: type = SANExecutor,
+        batched_executor_class: Optional[type] = None,
     ) -> None:
         self.model_factory = model_factory
         self.reward_factory = reward_factory
@@ -177,6 +189,9 @@ class SimulativeSolver:
         #: The executor implementation (swappable so tests and benchmarks
         #: can run the reference executor through the same solver).
         self.executor_class = executor_class
+        if batched_executor_class is None:
+            batched_executor_class = BatchedSANExecutor
+        self.batched_executor_class = batched_executor_class
         self._cached_model: Optional[SANModel] = None
 
     def __getstate__(self) -> Dict[str, Any]:
@@ -226,6 +241,8 @@ class SimulativeSolver:
         max_replications: int = 10_000,
         jobs: Optional[int] = 1,
         precision_batch: int = 10,
+        strategy: str = "scalar",
+        batch_size: Optional[int] = None,
     ) -> SolverResult:
         """Run replications and aggregate the rewards.
 
@@ -254,10 +271,32 @@ class SimulativeSolver:
             Replications per precision-loop chunk.  The stopping rule is
             evaluated at chunk boundaries only, so the replication count is
             a function of the seed and this value, never of ``jobs``.
+        strategy:
+            ``"scalar"`` (default) loops replications through
+            ``executor_class``; ``"batched"`` hands whole chunks of the
+            replication plan to ``batched_executor_class``, which advances
+            them lock-step.  Replication ``i`` uses the same derived seed
+            and named streams under both strategies, so the results are
+            bit-identical -- the strategy only changes throughput.
+        batch_size:
+            Replications per lock-step batch under ``strategy="batched"``
+            (default: whole chunks, capped at ``DEFAULT_BATCH_SIZE``).
+            Like ``jobs``, the value never changes results.
         """
+        if strategy not in ("scalar", "batched"):
+            raise ValueError(
+                f"unknown strategy {strategy!r}: expected 'scalar' or 'batched'"
+            )
         result = SolverResult(confidence=self.confidence)
         if target_reward is None or relative_precision is None:
-            result.replications.extend(self._run_indices(range(replications), jobs))
+            result.replications.extend(
+                self._run_indices(
+                    range(replications),
+                    jobs,
+                    strategy=strategy,
+                    batch_size=batch_size,
+                )
+            )
             return result
 
         if precision_batch < 1:
@@ -274,7 +313,13 @@ class SimulativeSolver:
                     chunk = precision_batch
                 chunk = min(chunk, max_replications - index)
                 result.replications.extend(
-                    self._run_indices(range(index, index + chunk), jobs, pool=pool)
+                    self._run_indices(
+                        range(index, index + chunk),
+                        jobs,
+                        pool=pool,
+                        strategy=strategy,
+                        batch_size=batch_size,
+                    )
                 )
                 index += chunk
                 if index < min_replications:
@@ -330,6 +375,8 @@ class SimulativeSolver:
         indices: Iterable[int],
         jobs: Optional[int],
         pool: Optional[ProcessPoolExecutor] = None,
+        strategy: str = "scalar",
+        batch_size: Optional[int] = None,
     ) -> List[ReplicationResult]:
         """Run the given replication indices, serially or on a worker pool.
 
@@ -337,8 +384,14 @@ class SimulativeSolver:
         (:class:`~repro.experiments.runner.ReplicationPlan`), inheriting
         its ordered streaming aggregation; the per-replication seeds are
         identical to the serial path's, so ``jobs`` never changes results.
+        Under ``strategy="batched"`` the plan's unit of work is a whole
+        batch of replications (one lock-step executor per batch) instead
+        of a single one -- per-replication seeds are unchanged, so the
+        strategy never changes results either.
         """
         indices = list(indices)
+        if strategy == "batched":
+            return self._run_indices_batched(indices, jobs, pool, batch_size)
         if pool is None and (jobs == 1 or len(indices) <= 1):
             return [self.run_replication(index) for index in indices]
         # Imported lazily: repro.experiments pulls in modules that themselves
@@ -359,6 +412,87 @@ class SimulativeSolver:
         )
         return [
             result for _point, result in iter_plan(plan, jobs=jobs, pool=pool)
+        ]
+
+    def _run_indices_batched(
+        self,
+        indices: List[int],
+        jobs: Optional[int],
+        pool: Optional[ProcessPoolExecutor] = None,
+        batch_size: Optional[int] = None,
+    ) -> List[ReplicationResult]:
+        """Run replication indices in lock-step batches.
+
+        Each batch is one :meth:`run_batch` call; the serial path runs the
+        batches in-process, the parallel path makes each batch one sweep
+        point.  Results are aggregated in replication order either way.
+        """
+        if batch_size is None:
+            batch_size = min(len(indices), DEFAULT_BATCH_SIZE)
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        batches = [
+            tuple(indices[start : start + batch_size])
+            for start in range(0, len(indices), batch_size)
+        ]
+        if pool is None and (jobs == 1 or len(batches) <= 1):
+            return [
+                result for batch in batches for result in self.run_batch(batch)
+            ]
+        from repro.experiments.runner import ReplicationPlan, SweepPoint, iter_plan
+
+        points = tuple(
+            SweepPoint.make(
+                _batched_replication_job,
+                kwargs={"solver": self, "indices": batch},
+                indices=(batch[0],),
+                label=f"replications {batch[0]}..{batch[-1]}",
+            )
+            for batch in batches
+        )
+        plan = ReplicationPlan(
+            settings=_ReplicationSeeds(self.seed), points=points, name="san-solver"
+        )
+        return [
+            result
+            for _point, batch_results in iter_plan(plan, jobs=jobs, pool=pool)
+            for result in batch_results
+        ]
+
+    def run_batch(self, indices: Sequence[int]) -> List[ReplicationResult]:
+        """Run the given replications as one lock-step batch.
+
+        Every replication keeps its own derived seed, named streams and
+        reward variables, so each entry of the returned list is
+        bit-identical to :meth:`run_replication` of the same index.
+        """
+        indices = list(indices)
+        model = self._model()
+        rewards_rows = [list(self.reward_factory()) for _ in indices]
+        initial_markings = None
+        if self.initial_marking_factory is not None:
+            initial_markings = [
+                self.initial_marking_factory(model) for _ in indices
+            ]
+        executor = self.batched_executor_class.for_batch(
+            model,
+            [self._replication_seed(index) for index in indices],
+            rewards_rows,
+            initial_markings=initial_markings,
+        )
+        outcomes = executor.run_batch(
+            until=self.max_time, stop_predicate=self.stop_predicate
+        )
+        return [
+            ReplicationResult(
+                replication=index,
+                end_time=outcome.end_time,
+                stopped_by_predicate=outcome.stopped_by_predicate,
+                rewards={reward.name: reward.value() for reward in rewards},
+            )
+            for index, outcome, rewards in zip(
+                indices, outcomes, rewards_rows, strict=True
+            )
         ]
 
     def _replication_seed(self, index: int) -> int:
@@ -387,3 +521,17 @@ def _replication_job(
 ) -> ReplicationResult:
     """Run one replication in a worker process (module-level, picklable)."""
     return solver._run_with_seed(index, point_seed)
+
+
+def _batched_replication_job(
+    solver: SimulativeSolver, indices: Sequence[int], point_seed: int
+) -> List[ReplicationResult]:
+    """Run one lock-step batch in a worker process (module-level, picklable).
+
+    ``point_seed`` is the first replication's seed, provided by the sweep
+    engine's settings interface; :meth:`SimulativeSolver.run_batch`
+    re-derives every row's seed from the same :class:`_ReplicationSeeds`
+    definition, so it is deliberately unused here.
+    """
+    del point_seed
+    return solver.run_batch(indices)

@@ -252,6 +252,12 @@ class ConsensusSANExperiment:
         end at the first decision).
     confidence:
         Confidence level of the reported interval (the paper uses 0.90).
+    strategy:
+        Executor strategy of the simulative solver: ``"scalar"`` loops the
+        replications, ``"batched"`` advances them lock-step
+        (:class:`~repro.san.batched.BatchedSANExecutor`).  Replication
+        seeds and named streams are identical under both, so the results
+        are bit-identical -- the strategy only changes throughput.
     """
 
     def __init__(
@@ -263,6 +269,7 @@ class ConsensusSANExperiment:
         seed: int = 0,
         max_time_ms: float = 10_000.0,
         confidence: float = 0.90,
+        strategy: str = "scalar",
     ) -> None:
         self.n_processes = n_processes
         self.parameters = parameters or SANParameters()
@@ -271,6 +278,7 @@ class ConsensusSANExperiment:
         self.seed = seed
         self.max_time_ms = max_time_ms
         self.confidence = confidence
+        self.strategy = strategy
 
     # ------------------------------------------------------------------
     def model_factory(self) -> SANModel:
@@ -308,6 +316,7 @@ class ConsensusSANExperiment:
         min_replications: int = 20,
         max_replications: int = 5_000,
         jobs: Optional[int] = 1,
+        strategy: Optional[str] = None,
     ) -> SANLatencyResult:
         """Run the experiment and return latency statistics.
 
@@ -315,11 +324,17 @@ class ConsensusSANExperiment:
         confidence interval of the mean latency is that tight (relative to
         the mean) or ``max_replications`` is reached.  ``jobs > 1`` fans
         the replications out over worker processes with bit-identical
-        results (see :meth:`SimulativeSolver.solve`).
+        results (see :meth:`SimulativeSolver.solve`).  ``strategy``
+        overrides the experiment's configured executor strategy for this
+        run; like ``jobs``, it never changes results.
         """
         solver = self.solver()
+        if strategy is None:
+            strategy = self.strategy
         if relative_precision is None:
-            result = solver.solve(replications=replications, jobs=jobs)
+            result = solver.solve(
+                replications=replications, jobs=jobs, strategy=strategy
+            )
         else:
             result = solver.solve(
                 replications=replications,
@@ -328,6 +343,7 @@ class ConsensusSANExperiment:
                 min_replications=min_replications,
                 max_replications=max_replications,
                 jobs=jobs,
+                strategy=strategy,
             )
         latencies = result.values("latency")
         undecided = result.n - len(latencies)

@@ -16,11 +16,15 @@ Distributions whose draws are a single vectorisable numpy call additionally
 expose ``sample_batch(rng, size)``.  numpy's ``Generator`` methods fill
 arrays from the same bit stream that scalar calls consume, so a batch of
 ``size`` values is *bit-identical* to ``size`` successive ``sample`` calls
-(and leaves the generator in the same state) -- which is what lets the SAN
-executor amortise the per-call numpy overhead over a whole batch without
-perturbing fixed-seed results (tested in ``test_stats_distributions``).
-Mixtures draw from two interleaved methods, so they deliberately do not
-offer a batch path.
+(and leaves the generator in the same state) -- which is what lets both the
+scalar SAN executor's pre-draw cache and the lock-step batched executor
+(:mod:`repro.san.batched`) amortise the per-call numpy overhead over a
+whole batch without perturbing fixed-seed results.  The contract is pinned
+by example in ``test_stats_distributions`` and property-tested (bit
+identity plus generator-state equality, over nested ``Shifted`` chains) in
+``test_stats_properties``.  Mixtures draw from two interleaved methods, so
+they deliberately do not offer a batch path; :func:`supports_batch` is the
+single gate callers use to decide.
 """
 
 from __future__ import annotations

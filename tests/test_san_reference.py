@@ -129,3 +129,42 @@ def test_scheduled_activities_match_brute_force_enablement():
     enabled = enabled_activity_names(model, executor.marking)
     assert enabled <= timed_names  # tangible: no instantaneous enabled
     assert executor.scheduled_activity_names() == enabled
+
+
+@given(data=st.data())
+@settings(max_examples=25, deadline=None)
+def test_batched_enablement_mask_agrees_with_full_reevaluation(data):
+    # Build a small batch of random consensus markings and check that the
+    # batched executor's vectorised enablement mask matches the reference
+    # full re-evaluation (enabled_activity_names) row by row.
+    from repro.san.batched import BatchedSANExecutor
+
+    batch = []
+    for row in range(data.draw(st.integers(min_value=1, max_value=4))):
+        places = data.draw(
+            st.lists(
+                st.sampled_from(_CONSENSUS_PLACES),
+                min_size=1,
+                max_size=12,
+                unique=True,
+            ),
+            label=f"places[{row}]",
+        )
+        counts = {
+            place: data.draw(
+                st.integers(min_value=0, max_value=2),
+                label=f"tokens[{row}][{place}]",
+            )
+            for place in places
+        }
+        batch.append(Marking(counts))
+
+    executor = BatchedSANExecutor.for_batch(
+        _CONSENSUS_MODEL,
+        seeds=list(range(len(batch))),
+        rewards_per_row=[[] for _ in batch],
+        initial_markings=batch,
+    )
+    for row, marking in enumerate(batch):
+        expected = enabled_activity_names(_CONSENSUS_MODEL, marking)
+        assert executor.enabled_activity_names(row) == expected, row

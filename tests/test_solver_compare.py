@@ -41,9 +41,22 @@ def test_timings_are_recorded(smoke_result):
     for point in smoke_result.points.values():
         assert point.analytic_seconds > 0
         assert point.simulative_seconds > 0
+        assert point.batched_seconds > 0
         assert point.speedup == pytest.approx(
             point.simulative_seconds / point.analytic_seconds
         )
+        assert point.batched_speedup == pytest.approx(
+            point.simulative_seconds / point.batched_seconds
+        )
+
+
+def test_batched_leg_is_bit_identical_to_scalar(smoke_result):
+    # Scalar and batched legs share replication seeds: any difference is
+    # an executor-fidelity bug, not noise, so this is exact equality.
+    for point in smoke_result.points.values():
+        for comparison in point.rewards:
+            assert comparison.batched_mean == comparison.simulative_mean
+            assert comparison.batched_within_ci == comparison.within_ci
 
 
 def test_parallel_sweep_matches_serial_statistics(smoke_result):

@@ -21,10 +21,15 @@ from repro.stats.cdf import EmpiricalCDF
 from repro.stats.descriptive import confidence_interval
 from repro.stats.distributions import (
     BimodalUniform,
+    Constant,
     Exponential,
     LogNormal,
+    Normal,
+    Shifted,
     Uniform,
+    Weibull,
     distribution_from_spec,
+    supports_batch,
 )
 from repro.stats.fitting import fit_bimodal_uniform
 
@@ -180,3 +185,83 @@ def test_higher_confidence_gives_wider_intervals(confidence):
     wide = confidence_interval(samples, confidence=confidence)
     assert wide.half_width >= narrow.half_width
     assert wide.mean == narrow.mean
+
+
+# ----------------------------------------------------------------------
+# Batched sampling (hypothesis): the batched executor's duration draws
+# rely on sample_batch(n) being bit-identical to n successive scalar
+# draws AND leaving the generator in the same state -- for every
+# batchable distribution, under arbitrary parameters, seeds and batch
+# sizes, including arbitrarily nested Shifted wrappers.
+# ----------------------------------------------------------------------
+_finite = dict(allow_nan=False, allow_infinity=False)
+
+_base_batchable = st.one_of(
+    st.builds(Constant, st.floats(min_value=0.0, max_value=10.0, **_finite)),
+    st.builds(
+        lambda low, width: Uniform(low, low + width),
+        st.floats(min_value=0.0, max_value=10.0, **_finite),
+        st.floats(min_value=0.0, max_value=10.0, **_finite),
+    ),
+    st.builds(
+        Exponential, st.floats(min_value=1e-3, max_value=100.0, **_finite)
+    ),
+    st.builds(
+        Weibull,
+        st.floats(min_value=0.3, max_value=5.0, **_finite),
+        st.floats(min_value=1e-3, max_value=10.0, **_finite),
+    ),
+    st.builds(
+        Normal,
+        st.floats(min_value=-2.0, max_value=5.0, **_finite),
+        st.floats(min_value=0.0, max_value=3.0, **_finite),
+    ),
+    st.builds(
+        LogNormal,
+        st.floats(min_value=-1.0, max_value=1.0, **_finite),
+        st.floats(min_value=0.0, max_value=1.5, **_finite),
+    ),
+)
+
+#: Batchable distributions with 0-3 levels of Shifted nesting.
+batchable_distributions = st.recursive(
+    _base_batchable,
+    lambda children: st.builds(
+        Shifted, st.floats(min_value=0.0, max_value=5.0, **_finite), children
+    ),
+    max_leaves=4,
+)
+
+
+@given(
+    dist=batchable_distributions,
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    size=st.integers(min_value=0, max_value=64),
+)
+@pytest.mark.filterwarnings("ignore::RuntimeWarning")
+def test_sample_batch_bit_identity_and_state_equality(dist, seed, size):
+    from repro.stats.distributions import supports_batch
+
+    assert supports_batch(dist)
+    scalar_rng = np.random.default_rng(seed)
+    batch_rng = np.random.default_rng(seed)
+    singles = [dist.sample(scalar_rng) for _ in range(size)]
+    batch = dist.sample_batch(batch_rng, size)
+    assert [float(value) for value in batch] == singles
+    assert scalar_rng.bit_generator.state == batch_rng.bit_generator.state
+
+
+@given(
+    depth=st.integers(min_value=1, max_value=5),
+    batchable=st.booleans(),
+)
+def test_supports_batch_refines_through_nested_shifted(depth, batchable):
+    dist = Exponential(1.0) if batchable else BimodalUniform()
+    for _ in range(depth):
+        dist = Shifted(0.1, dist)
+    # supports_batch sees through any nesting depth to the base: a
+    # Shifted chain batches exactly when its innermost base does.
+    assert supports_batch(dist) is batchable
+    if not batchable:
+        with pytest.raises(TypeError, match="no batch sampler"):
+            dist.sample_batch(np.random.default_rng(0), 4)
