@@ -14,13 +14,20 @@ from __future__ import annotations
 import time
 
 from repro.benchmarking import run_once
+from repro.san import Case, Place, SANModel, TimedActivity
+from repro.san.rewards import ActivityCounter
+from repro.san.solver import SimulativeSolver
 from repro.sanmodels import ConsensusSANExperiment
+from repro.stats.distributions import BimodalUniform, Mixture, Shifted, Uniform
 
 #: Replications per timing leg.  Large enough that the batched executor's
 #: per-batch compilation and matrix set-up amortise (they do by ~50).
 REPLICATIONS = 200
 #: Required speedup of the batched strategy over the scalar loop.
 REQUIRED_SPEEDUP = 2.0
+#: Required speedup of batched (pre-drawn) bimodal delays over the same
+#: delays forced onto the per-completion generic fallback.
+REQUIRED_BIMODAL_SPEEDUP = 1.5
 
 
 def _best_of(function, attempts=3):
@@ -50,7 +57,7 @@ def test_bench_batched_consensus(benchmark):
         return scalar_solver.solve(replications=REPLICATIONS)
 
     fast_result, fast_s = _best_of(solve_batched)
-    run_once(benchmark, solve_batched)
+    run_once(benchmark, solve_batched, replications=REPLICATIONS)
     slow_result, slow_s = _best_of(solve_scalar)
 
     # Determinism first: equal statistical precision means *identical*
@@ -68,4 +75,103 @@ def test_bench_batched_consensus(benchmark):
     assert speedup >= REQUIRED_SPEEDUP, (
         f"expected >= {REQUIRED_SPEEDUP}x over the scalar executor, "
         f"measured {speedup:.2f}x"
+    )
+
+
+# ----------------------------------------------------------------------
+# Bimodal-delay leg: the paper's end-to-end delay fit is a bi-modal
+# uniform, which PR 9 made batchable (all-Uniform mixtures pre-draw via
+# the inverse-CDF scheme).  This leg pins that win: the same drain model
+# with the same statistical delays, once with the batchable
+# BimodalUniform and once with an equivalent mixture whose Shifted(0, .)
+# component forces the per-completion generic fallback.
+# ----------------------------------------------------------------------
+#: Tokens drained per chain, i.e. bimodal duration draws per (chain,
+#: replication).  Sized so duration sampling dominates each replication.
+DRAIN_TOKENS = 40
+#: Independent drain chains per replication (gives the lock-step matrix
+#: several concurrent timed activities per row).
+DRAIN_CHAINS = 4
+
+
+def _drain_model_factory(generic: bool):
+    """A factory of drain models: N chains each moving T tokens through
+    one bimodal-delay activity; a replication ends when the model drains.
+    """
+    if generic:
+        # Statistically identical to BimodalUniform(), but the Shifted
+        # component is not a plain Uniform, so supports_batch() is False
+        # and every draw goes through the per-completion scalar path.
+        delay = Mixture(
+            [(0.8, Uniform(0.1, 0.13)), (0.2, Shifted(0.0, Uniform(0.145, 0.35)))]
+        )
+    else:
+        delay = BimodalUniform()
+
+    def build() -> SANModel:
+        model = SANModel("bimodal-drain" + ("-generic" if generic else ""))
+        for chain in range(DRAIN_CHAINS):
+            pending, done = f"pending{chain}", f"done{chain}"
+            model.add_place(Place(pending, DRAIN_TOKENS))
+            model.add_place(Place(done, 0))
+            model.add_activity(
+                TimedActivity(
+                    f"hop{chain}",
+                    delay,
+                    input_arcs=[pending],
+                    cases=[Case.build(output_arcs=[done])],
+                )
+            )
+        return model
+
+    return build
+
+
+def _drain_solver(generic: bool) -> SimulativeSolver:
+    return SimulativeSolver(
+        model_factory=_drain_model_factory(generic),
+        reward_factory=lambda: [ActivityCounter(name="completions")],
+        stop_predicate=None,  # replications end when the model drains
+        max_time=1e9,
+        seed=5,
+        reuse_model=True,
+    )
+
+
+def test_bench_batched_bimodal_delays(benchmark):
+    batchable_solver = _drain_solver(generic=False)
+    generic_solver = _drain_solver(generic=True)
+
+    # Warm both paths off the clock: model build, compiled tables, caches.
+    batchable_solver.run_batch([0])
+    generic_solver.run_batch([0])
+
+    def solve_batchable():
+        return batchable_solver.solve(replications=REPLICATIONS, strategy="batched")
+
+    def solve_generic():
+        return generic_solver.solve(replications=REPLICATIONS, strategy="batched")
+
+    fast_result, fast_s = _best_of(solve_batchable)
+    run_once(benchmark, solve_batchable, replications=REPLICATIONS)
+    slow_result, slow_s = _best_of(solve_generic)
+
+    # Both legs drain every token -- only the delay *draw path* differs.
+    expected = float(DRAIN_TOKENS * DRAIN_CHAINS)
+    assert all(
+        r.rewards["completions"] == expected for r in fast_result.replications
+    )
+    assert all(
+        r.rewards["completions"] == expected for r in slow_result.replications
+    )
+
+    speedup = slow_s / fast_s if fast_s > 0 else float("inf")
+    print(
+        f"\nbimodal drain, {REPLICATIONS} replications: pre-drawn {fast_s:.3f} s "
+        f"({REPLICATIONS / fast_s:.0f} reps/s), generic fallback {slow_s:.3f} s "
+        f"({REPLICATIONS / slow_s:.0f} reps/s), speedup {speedup:.2f}x"
+    )
+    assert speedup >= REQUIRED_BIMODAL_SPEEDUP, (
+        f"expected sample_batch to beat the generic fallback by >= "
+        f"{REQUIRED_BIMODAL_SPEEDUP}x, measured {speedup:.2f}x"
     )

@@ -35,6 +35,15 @@ Command line
     ``--allow-regression`` (or the documented CI override label, which
     sets it) reports but does not fail -- for PRs that intentionally
     trade speed for something else, alongside a baseline re-record.
+
+``python -m repro.benchmarking report <results.json> <trajectory.json> --label L``
+    Append (or refresh) one labeled entry of the *cumulative perf
+    trajectory* (``BENCH_trajectory.json``): per benchmark, the mean,
+    its calibration-normalised cost and -- for benchmarks that declare a
+    replication count via ``run_once(..., replications=N)`` -- the
+    replications-per-second throughput.  One entry per PR turns the
+    committed baselines' before/after pairs into a readable history of
+    how fast the solvers have become.
 """
 
 from __future__ import annotations
@@ -88,7 +97,7 @@ def calibration_seconds(rounds: int = 3) -> float:
     return _calibration_cache
 
 
-def run_once(benchmark, function, *args, **kwargs):
+def run_once(benchmark, function, *args, replications=None, **kwargs):
     """Run ``function`` under pytest-benchmark timing.
 
     The default is a single round (the benchmark bodies regenerate whole
@@ -97,9 +106,16 @@ def run_once(benchmark, function, *args, **kwargs):
     The machine's calibration time is stamped into ``extra_info`` so the
     ``--benchmark-json`` output can be normalised by
     :func:`compare_to_baseline` without re-running anything.
+
+    ``replications`` (consumed here, never passed to ``function``)
+    declares how many simulation replications one timed call performs;
+    it is stamped into ``extra_info`` so the trajectory report can turn
+    the mean into a replications-per-second throughput.
     """
     rounds = max(1, int(os.environ.get("REPRO_BENCH_ROUNDS", "1")))
     benchmark.extra_info["calibration_s"] = calibration_seconds()
+    if replications is not None:
+        benchmark.extra_info["replications"] = int(replications)
     return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=rounds, iterations=1)
 
 
@@ -113,11 +129,19 @@ class BenchmarkResult:
     name: str
     mean_s: float
     calibration_s: float
+    replications: Optional[int] = None
 
     @property
     def normalized(self) -> float:
         """Mean in calibration units (dimensionless, machine-portable)."""
         return self.mean_s / self.calibration_s
+
+    @property
+    def reps_per_s(self) -> Optional[float]:
+        """Replications per second, for benchmarks that declare a count."""
+        if not self.replications or self.mean_s <= 0:
+            return None
+        return self.replications / self.mean_s
 
 
 def load_results(path: str) -> List[BenchmarkResult]:
@@ -148,9 +172,13 @@ def load_results(path: str) -> List[BenchmarkResult]:
                 stacklevel=2,
             )
             calibration = calibration_seconds()
+        replications = (entry.get("extra_info") or {}).get("replications")
         results.append(
             BenchmarkResult(
-                name=str(name), mean_s=float(mean), calibration_s=float(calibration)
+                name=str(name),
+                mean_s=float(mean),
+                calibration_s=float(calibration),
+                replications=int(replications) if replications else None,
             )
         )
     return results
@@ -292,6 +320,82 @@ def compare_to_baseline(
 
 
 # ----------------------------------------------------------------------
+# Cumulative perf trajectory
+# ----------------------------------------------------------------------
+#: Version of the committed trajectory file format.
+TRAJECTORY_SCHEMA = 1
+
+
+def load_trajectory(path: str) -> Dict[str, object]:
+    """Load a trajectory file, or a fresh empty one when absent."""
+    if not os.path.exists(path):
+        return {"schema": TRAJECTORY_SCHEMA, "entries": []}
+    with open(path, encoding="utf-8") as handle:
+        trajectory = json.load(handle)
+    if trajectory.get("schema") != TRAJECTORY_SCHEMA:
+        raise BaselineError(
+            f"{path}: unsupported trajectory schema {trajectory.get('schema')!r}"
+        )
+    if not isinstance(trajectory.get("entries"), list):
+        raise BaselineError(f"{path}: missing 'entries' list")
+    return trajectory
+
+
+def report_trajectory(
+    results_path: str, trajectory_path: str, label: str
+) -> Dict[str, object]:
+    """Add one labeled entry to the cumulative perf trajectory.
+
+    Entries stay in chronological (append) order, one per PR/label;
+    reporting an existing label refreshes that entry in place, so a
+    re-run CI job never duplicates history.  Benchmarks that declared a
+    replication count (``run_once(..., replications=N)``) additionally
+    carry ``reps_per_s`` -- the headline throughput figure of the solver
+    benchmarks.
+    """
+    benchmarks: Dict[str, Dict[str, float]] = {}
+    for result in load_results(results_path):
+        entry: Dict[str, float] = {
+            "mean_s": result.mean_s,
+            "normalized": result.normalized,
+        }
+        if result.reps_per_s is not None:
+            entry["replications"] = result.replications  # type: ignore[assignment]
+            entry["reps_per_s"] = result.reps_per_s
+        benchmarks[result.name] = entry
+    trajectory = load_trajectory(trajectory_path)
+    entries: List[Dict[str, object]] = trajectory["entries"]  # type: ignore[assignment]
+    new_entry: Dict[str, object] = {"label": label, "benchmarks": benchmarks}
+    for index, existing in enumerate(entries):
+        if existing.get("label") == label:
+            entries[index] = new_entry
+            break
+    else:
+        entries.append(new_entry)
+    os.makedirs(os.path.dirname(trajectory_path) or ".", exist_ok=True)
+    with open(trajectory_path, "w", encoding="utf-8") as handle:
+        json.dump(trajectory, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return trajectory
+
+
+def render_trajectory(trajectory: Dict[str, object]) -> str:
+    """Human-readable throughput history, one line per (entry, benchmark)."""
+    lines = ["perf trajectory (reps/s where declared):"]
+    entries: List[Dict[str, object]] = trajectory["entries"]  # type: ignore[assignment]
+    for entry in entries:
+        label = entry.get("label", "?")
+        table: Dict[str, Dict[str, float]] = entry.get("benchmarks", {})  # type: ignore[assignment]
+        for name, values in sorted(table.items()):
+            reps = values.get("reps_per_s")
+            throughput = f"{reps:8.0f} reps/s" if reps else f"{'-':>8} reps/s"
+            lines.append(
+                f"  {label:>8}  {throughput}  mean {values['mean_s']:.4f} s  {name}"
+            )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
 # CLI
 # ----------------------------------------------------------------------
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -323,6 +427,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="report regressions but exit 0 (intentional perf changes)",
     )
 
+    report_parser = subparsers.add_parser(
+        "report", help="append a labeled entry to the cumulative perf trajectory"
+    )
+    report_parser.add_argument(
+        "results", help="pytest-benchmark --benchmark-json file"
+    )
+    report_parser.add_argument(
+        "trajectory", help="cumulative trajectory JSON to create or extend"
+    )
+    report_parser.add_argument(
+        "--label",
+        required=True,
+        help="entry label, e.g. the PR number; an existing label is refreshed",
+    )
+
     arguments = parser.parse_args(argv)
     if arguments.command == "record":
         baseline = record_baseline(arguments.results, arguments.baseline)
@@ -330,6 +449,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"recorded {len(baseline['benchmarks'])} benchmarks"  # type: ignore[arg-type]
             f" to {arguments.baseline}"
         )
+        return 0
+
+    if arguments.command == "report":
+        trajectory = report_trajectory(
+            arguments.results, arguments.trajectory, arguments.label
+        )
+        print(render_trajectory(trajectory))
+        print(f"trajectory written to {arguments.trajectory}")
         return 0
 
     report = compare_to_baseline(

@@ -276,12 +276,26 @@ def _execute_payload(
     return time.perf_counter() - started, result  # repro: ignore[DET004] elapsed-time metadata only; never feeds simulation state or results
 
 
+def _execute_group_payload(
+    payloads: List[Tuple[Callable[..., Any], Dict[str, Any]]],
+) -> List[Tuple[float, Any]]:
+    """Run several points in one worker submission (module-level, picklable).
+
+    One pickled submission and one result message cover the whole group,
+    but each point's wall clock is still measured individually inside the
+    worker -- grouping changes the submission envelope only, never the
+    per-point timing (or caching) bookkeeping.
+    """
+    return [_execute_payload(payload) for payload in payloads]
+
+
 def iter_plan(
     plan: ReplicationPlan,
     jobs: Optional[int] = 1,
     cache: Optional[ResultCache] = None,
     pool: Optional[ProcessPoolExecutor] = None,
     timing_hook: Optional[TimingHook] = None,
+    group_size: int = 1,
 ) -> Iterator[Tuple[SweepPoint, Any]]:
     """Execute a plan, yielding ``(point, result)`` pairs *in plan order*.
 
@@ -300,8 +314,17 @@ def iter_plan(
     ``timing_hook`` receives ``(point, seconds, cached)`` per point as its
     result is yielded; the artifact layer uses it to record per-point wall
     clock in run manifests.  Timings never influence results or caching.
+
+    ``group_size`` bundles that many consecutive uncached points into one
+    pool submission (the SAN solver ships several lock-step batches per
+    worker this way).  Grouping amortises pickling and result transport;
+    it never affects the serial path, point seeds, cache keys, per-point
+    timings, or the plan-order yield -- ``group_size=N`` is bit-identical
+    to ``group_size=1``.
     """
     jobs = resolve_jobs(jobs)
+    if group_size < 1:
+        raise ValueError(f"group_size must be >= 1, got {group_size}")
     keys: List[Optional[str]] = []
     cached: Dict[int, Any] = {}
     for index, point in enumerate(plan.points):
@@ -340,23 +363,38 @@ def iter_plan(
             yield finish(index, point, time.perf_counter() - started, result)  # repro: ignore[DET004] elapsed-time metadata only; never feeds simulation state or results
         return
 
-    uncached_count = len(plan.points) - len(cached)
+    pending = [
+        index for index in range(len(plan.points)) if index not in cached
+    ]
+    groups = [
+        pending[start : start + group_size]
+        for start in range(0, len(pending), group_size)
+    ]
     owned = pool is None
     if owned:
-        pool = ProcessPoolExecutor(max_workers=min(jobs, uncached_count))
+        pool = ProcessPoolExecutor(max_workers=min(jobs, max(1, len(groups))))
     try:
-        futures = {
-            index: pool.submit(
-                _execute_payload, (point.func, point.call_kwargs(plan.settings))
+        # index -> (group future, offset of this point's result in it).
+        futures: Dict[int, Tuple[Any, int]] = {}
+        for group in groups:
+            future = pool.submit(
+                _execute_group_payload,
+                [
+                    (
+                        plan.points[index].func,
+                        plan.points[index].call_kwargs(plan.settings),
+                    )
+                    for index in group
+                ],
             )
-            for index, point in enumerate(plan.points)
-            if index not in cached
-        }
+            for offset, index in enumerate(group):
+                futures[index] = (future, offset)
         for index, point in enumerate(plan.points):
             if index in cached:
                 yield finish_cached(point, cached[index])
             else:
-                seconds, result = futures[index].result()
+                future, offset = futures[index]
+                seconds, result = future.result()[offset]
                 yield finish(index, point, seconds, result)
     finally:
         if owned:
@@ -367,7 +405,13 @@ def execute_plan(
     plan: ReplicationPlan,
     jobs: Optional[int] = 1,
     cache_dir: Optional[str] = None,
+    group_size: int = 1,
 ) -> List[Any]:
     """Execute a plan and return the point results in plan order."""
     cache = ResultCache(cache_dir) if cache_dir else None
-    return [result for _point, result in iter_plan(plan, jobs=jobs, cache=cache)]
+    return [
+        result
+        for _point, result in iter_plan(
+            plan, jobs=jobs, cache=cache, group_size=group_size
+        )
+    ]

@@ -1,13 +1,25 @@
 """Lock-step batched execution of SAN replications.
 
 :class:`BatchedSANExecutor` runs ``B`` independent replications of one
-model together: the markings live in a ``B x places`` token matrix (one
-row per replication), scheduled timed completions in a ``B x timed``
+model together: the markings live in a persistent ``B x places`` token
+matrix (one row per replication; per-row :class:`RowMarking` adapters
+are views into it), scheduled timed completions in a ``B x timed``
 completion-time matrix, and each simulation round advances every active
 row by exactly one timed event -- selected with one vectorised
 ``min``/``argmin`` over the completion matrix instead of ``B`` binary
 heaps.  Initial activation evaluates input arcs as one vectorised mask
 over the whole matrix (:meth:`CompiledSANModel.arc_enabled_mask`).
+
+The instantaneous chains that follow each round's completions run as
+**one matrix-level walk across every chaining row at once**
+(:meth:`_fire_chain_matrix`): candidate sets are boolean mask rows built
+from the compiled model's per-place dependency masks, and each chain
+round checks every candidate's input arcs for every chaining row with a
+single ``np.logical_and.reduceat`` over the compiled flat-arc tables.
+Only the parts the matrix cannot express stay per row -- gate
+predicates, case selection and the completion effects themselves -- and
+those are evaluated in exactly the scalar executor's order, only for
+candidates the vectorised arc check has already passed.
 
 Determinism contract (the *batched draw-order contract*)
 --------------------------------------------------------
@@ -35,7 +47,7 @@ scalar replication loop would, merely faster.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -70,9 +82,12 @@ class _Row:
     __slots__ = (
         "index",
         "tokens",
+        "mirror",
         "marking",
         "streams",
         "rewards",
+        "completion_hooks",
+        "marking_hooks",
         "samplers",
         "case_rngs",
         "next_seq",
@@ -85,16 +100,41 @@ class _Row:
         self,
         index: int,
         tokens: List[int],
+        mirror: np.ndarray,
         marking: RowMarking,
         streams: RandomStreams,
         rewards: List[RewardVariable],
         n_timed: int,
     ) -> None:
         self.index = index
+        #: Python-list token store (fast scalar reads for gates, rewards
+        #: and completion effects) ...
         self.tokens = tokens
+        #: ... and its view of this row in the executor's token matrix:
+        #: every write updates both, so vectorised passes read the matrix
+        #: without re-assembling it.
+        self.mirror = mirror
         self.marking = marking
         self.streams = streams
         self.rewards = rewards
+        #: Bound per-completion hooks of the rewards that actually
+        #: override them (the base-class hooks are no-ops, so skipping
+        #: them is behaviour-identical; distinct rewards are independent
+        #: observers of a marking that does not change between hooks, so
+        #: splitting the scalar executor's per-reward interleaving into
+        #: two lists is too).
+        self.completion_hooks = [
+            reward.on_activity_completion
+            for reward in rewards
+            if type(reward).on_activity_completion
+            is not RewardVariable.on_activity_completion
+        ]
+        self.marking_hooks = [
+            reward.on_marking_change
+            for reward in rewards
+            if type(reward).on_marking_change
+            is not RewardVariable.on_marking_change
+        ]
         #: Lazily-built duration samplers, indexed by timed-activity index
         #: (the scalar executor memoises per name; the index is the name).
         self.samplers: List[Optional[DurationSampler]] = [None] * n_timed
@@ -158,18 +198,31 @@ class BatchedSANExecutor:
         n_timed = self._compiled.n_timed
         self._comp = np.full((len(streams), n_timed), _INF, dtype=np.float64)
         self._seqs = np.zeros((len(streams), n_timed), dtype=np.int64)
+        #: The persistent ``B x places`` token matrix, kept in lock-step
+        #: with the per-row token lists (every write mirrors into it), so
+        #: vectorised passes (arc masks, the matrix chain) read current
+        #: state without re-assembling anything from per-row storage.
+        self._tokens = np.zeros(
+            (len(streams), self._compiled.n_places), dtype=np.int64
+        )
+        #: Constant-duration samplers are marking- and stream-independent,
+        #: so one closure per activity serves every row of the batch.
+        self._constant_samplers: Dict[int, DurationSampler] = {}
         self._rows: List[_Row] = []
         for index, (row_streams, row_rewards, initial) in enumerate(
             zip(streams, rewards_per_row, initial_markings, strict=True)
         ):
             tokens, overflow = self._initial_tokens(initial)
-            marking = RowMarking(self._compiled, tokens)
+            self._tokens[index] = tokens
+            mirror = self._tokens[index]
+            marking = RowMarking(self._compiled, tokens, mirror)
             if overflow:
                 marking._overflow.update(overflow)
             self._rows.append(
                 _Row(
                     index,
                     tokens,
+                    mirror,
                     marking,
                     row_streams,
                     list(row_rewards),
@@ -214,7 +267,7 @@ class BatchedSANExecutor:
 
     def tokens_matrix(self) -> np.ndarray:
         """The current ``B x places`` token matrix (a snapshot copy)."""
-        return np.array([row.tokens for row in self._rows], dtype=np.int64)
+        return self._tokens.copy()
 
     def enabled_mask(
         self, activities: Optional[Sequence[CompiledActivity]] = None
@@ -283,7 +336,9 @@ class BatchedSANExecutor:
 
         # Start-up, mirroring SANExecutor.run: clear the journal, reset
         # rewards, check the stop predicate on the initial marking, then
-        # stabilise instantaneous activities.
+        # stabilise instantaneous activities -- one matrix chain over
+        # every surviving row at once, all candidates considered (the
+        # scalar executor's "candidates=None" start-up chain).
         active: List[_Row] = []
         for row in self._rows:
             row.marking.take_changes()
@@ -293,37 +348,59 @@ class BatchedSANExecutor:
                 row.stopped = True
                 results[row.index] = self._finish(row, 0.0)
                 continue
-            self._fire_chain(row, None)
-            if row.stopped:
-                results[row.index] = self._finish(row, row.now)
-                continue
             active.append(row)
+        if active and compiled.n_inst:
+            all_candidates = (1 << compiled.n_inst) - 1
+            self._fire_chain_matrix(
+                active, [all_candidates] * len(active), None
+            )
+            still_startup: List[_Row] = []
+            for row in active:
+                if row.stopped:
+                    results[row.index] = self._finish(row, row.now)
+                else:
+                    still_startup.append(row)
+            active = still_startup
 
         # Initial activation: one vectorised arc mask over all still-active
         # rows, then per-row gate checks and scheduling in declaration
         # order (the scalar executor's seq-assignment order).
         if active:
-            tokens_matrix = np.array(
-                [row.tokens for row in active], dtype=np.int64
+            row_ids = [row.index for row in active]
+            arc_mask = compiled.arc_enabled_mask(
+                self._tokens[row_ids], compiled.timed
             )
-            arc_mask = compiled.arc_enabled_mask(tokens_matrix, compiled.timed)
             for position, row in enumerate(active):
                 self._schedule_initial(row, arc_mask[position])
 
         # Lock-step rounds: one timed event per active row per round,
         # selected with a single vectorised min/argmin over the
-        # completion-time matrix.
+        # completion-time matrix, in three phases -- (1) per-row timed
+        # completion effects, (2) one matrix-level instantaneous chain
+        # across every row that completed, (3) per-row timed refresh.
         comp = self._comp
         seqs = self._seqs
+        timed = compiled.timed
+        n_inst = compiled.n_inst
+        refresh_memo: Dict[
+            Tuple[int, FrozenSet[int], FrozenSet[str]],
+            Tuple[CompiledActivity, ...],
+        ] = {}
         while active:
             indices = [row.index for row in active]
             sub = comp[indices]
-            times = sub.min(axis=1)
-            columns = sub.argmin(axis=1)
-            tie_counts = (sub == times[:, None]).sum(axis=1)
-            still_active: List[_Row] = []
+            mins = sub.min(axis=1)
+            times = mins.tolist()
+            columns = sub.argmin(axis=1).tolist()
+            tie_counts = (sub == mins[:, None]).sum(axis=1).tolist()
+
+            # Phase 1: advance each row's clock and apply its completion.
+            chaining: List[_Row] = []
+            chain_changes: List[Tuple[Set[int], Set[str]]] = []
+            chain_masks: List[int] = []
+            chain_columns: List[int] = []
             for position, row in enumerate(active):
-                time = float(times[position])
+                time = times[position]
                 if time == _INF:
                     # Calendar drained: dead marking (the scalar simulator
                     # still advances the clock to the horizon, if any).
@@ -333,7 +410,7 @@ class BatchedSANExecutor:
                 if until is not None and time > until:
                     results[row.index] = self._finish(row, until)
                     continue
-                column = int(columns[position])
+                column = columns[position]
                 if tie_counts[position] > 1:
                     # Same-instant completions: the scalar heap pops the
                     # lowest sequence number first.
@@ -341,11 +418,55 @@ class BatchedSANExecutor:
                     tied = np.flatnonzero(comp_row == time)
                     column = int(tied[np.argmin(seqs[row.index][tied])])
                 row.now = time
-                self._fire_timed(row, column)
+                comp[row.index, column] = _INF
+                activity = timed[column]
+                if not activity.enabled(row.tokens, row.marking):
+                    # Defensive: disabling should have cancelled this.
+                    raise SANExecutionError(
+                        f"timed activity {activity.name!r} fired while "
+                        "disabled"
+                    )
+                changed_idx, changed_names, bits = self._complete(row, activity)
                 if row.stopped:
                     results[row.index] = self._finish(row, row.now)
-                else:
-                    still_active.append(row)
+                    continue
+                chaining.append(row)
+                chain_changes.append((changed_idx, changed_names))
+                chain_masks.append(bits)
+                chain_columns.append(column)
+
+            # Phase 2: one matrix chain across every row that completed;
+            # each row's changed-set accumulators are extended in place.
+            if chaining and n_inst:
+                self._fire_chain_matrix(chaining, chain_masks, chain_changes)
+
+            # Phase 3: re-evaluate the affected timed activities per row.
+            # The refresh order is a pure function of (fired column,
+            # changed sets), and the same few changed sets recur across
+            # rows and rounds, so the resolved orders are memoised.
+            still_active: List[_Row] = []
+            for position, row in enumerate(chaining):
+                if row.stopped:
+                    results[row.index] = self._finish(row, row.now)
+                    continue
+                changed_idx, changed_names = chain_changes[position]
+                column = chain_columns[position]
+                key = (
+                    column,
+                    frozenset(changed_idx),
+                    frozenset(changed_names),
+                )
+                order = refresh_memo.get(key)
+                if order is None:
+                    affected = self._affected_timed(
+                        changed_idx, changed_names
+                    )
+                    if column not in affected:
+                        affected[column] = timed[column]
+                    order = tuple(affected.values())  # repro: ignore[DET001] insertion order is the documented refresh-order contract of _affected_timed
+                    refresh_memo[key] = order
+                self._refresh_timed(row, order)
+                still_active.append(row)
             active = still_active
         return [result for result in results if result is not None]
 
@@ -395,34 +516,16 @@ class BatchedSANExecutor:
     # ------------------------------------------------------------------
     # Event processing
     # ------------------------------------------------------------------
-    def _fire_timed(self, row: _Row, column: int) -> None:
-        """Complete the scheduled timed activity in ``column`` of a row."""
-        self._comp[row.index][column] = _INF
-        activity = self._compiled.timed[column]
-        if not activity.enabled(row.tokens, row.marking):
-            # Defensive: disabling should have cancelled the completion.
-            raise SANExecutionError(
-                f"timed activity {activity.name!r} fired while disabled"
-            )
-        changed_idx, changed_names = self._complete(row, activity)
-        if row.stopped:
-            return
-        chain_idx, chain_names = self._fire_chain(
-            row, self._affected_instantaneous(changed_idx, changed_names)
-        )
-        changed_idx |= chain_idx
-        changed_names |= chain_names
-        if row.stopped:
-            return
-        affected = self._affected_timed(changed_idx, changed_names)
-        if column not in affected:
-            affected[column] = activity
-        self._refresh_timed(row, affected)
-
     def _complete(
         self, row: _Row, activity: CompiledActivity
-    ) -> Tuple[Set[int], Set[str]]:
-        """Apply one completion; returns the changed (indices, names)."""
+    ) -> Tuple[Set[int], Set[str], int]:
+        """Apply one completion.
+
+        Returns the changed ``(indices, names)`` plus the candidate
+        bitmask of the instantaneous activities those changes affect --
+        the case's precompiled static mask ORed with the masks of any
+        gate-written places.
+        """
         marking = row.marking
         case = activity.single_case
         if case is None:
@@ -433,94 +536,193 @@ class BatchedSANExecutor:
             chosen = activity.activity.choose_case(marking, rng)
             case = activity.case_lookup[id(chosen)]  # repro: ignore[DET005] identity lookup of the exact Case object choose_case returned; no ordering involved
         tokens = row.tokens
-        place_names = self._compiled.place_names
-        changed_idx: Set[int] = set()
+        mirror = row.mirror
         # SAN completion order: input arcs, input gate functions, output
         # arcs of the chosen case, output gate functions.  Arc weights are
-        # >= 1, so every arc write changes its place's count -- journalling
-        # unconditionally matches the scalar marking's value-diff journal.
+        # >= 1, so every arc write changes its place's count -- the case's
+        # precompiled ``change_idx`` matches the scalar marking's
+        # value-diff journal for the arc writes; gate writes journal
+        # through the marking and are merged below.
         for place, weight in activity.input_arcs:
             value = tokens[place] - weight
             if value < 0:
                 raise ValueError(
-                    f"marking of place {place_names[place]!r} would become "
+                    f"marking of place "
+                    f"{self._compiled.place_names[place]!r} would become "
                     f"negative ({value})"
                 )
             tokens[place] = value
-            changed_idx.add(place)
+            mirror[place] = value
         for gate in activity.input_gates:
             gate.apply(marking)
         for place, weight in case.output_arcs:
-            tokens[place] += weight
-            changed_idx.add(place)
+            value = tokens[place] + weight
+            tokens[place] = value
+            mirror[place] = value
         for out_gate in case.output_gates:
             out_gate.apply(marking)
         gate_idx, changed_names = marking.take_changes()
-        changed_idx |= gate_idx
+        changed_idx = set(case.change_idx)
+        bits = case.candidate_bits
+        if gate_idx:
+            changed_idx |= gate_idx
+            by_place = self._compiled.inst_bits_by_place
+            for place in gate_idx:
+                bits |= by_place.get(place, 0)
+        if changed_names:
+            by_unknown = self._compiled.inst_bits_by_unknown
+            for name in changed_names:
+                bits |= by_unknown.get(name, 0)
         row.completions += 1
         now = row.now
         name = activity.name
-        for reward in row.rewards:
-            reward.on_activity_completion(name, marking, now)
-            reward.on_marking_change(marking, now)
+        for hook in row.completion_hooks:
+            hook(name, marking, now)
+        for hook in row.marking_hooks:
+            hook(marking, now)
         predicate = self._stop_predicate
         if predicate is not None and predicate(marking):
             row.stopped = True
-        return changed_idx, changed_names
+        return changed_idx, changed_names, bits
 
-    def _fire_chain(
-        self, row: _Row, candidates: Optional[Set[int]]
-    ) -> Tuple[Set[int], Set[str]]:
-        """Fire enabled instantaneous activities until none remains.
+    def _fire_chain_matrix(
+        self,
+        rows: List[_Row],
+        masks: List[int],
+        changes: Optional[List[Tuple[Set[int], Set[str]]]],
+    ) -> None:
+        """Fire every row's instantaneous chain, lock-step, until drained.
 
-        ``candidates`` holds firing-precedence positions (``None`` means
-        "consider all", used at start-up); each round fires the
-        lowest-positioned enabled candidate, exactly like the scalar
-        executor's rank/definition-order chain.
+        ``masks`` holds one candidate bitmask per row (bit ``i`` = firing
+        precedence position ``i``; mutated in place); ``changes``
+        optionally holds per-row ``(changed_idx, changed_names)``
+        accumulator sets that are extended **in place** (``None`` at
+        start-up, where the changes feed nothing: initial activation
+        re-evaluates everything).
 
-        Unlike the scalar chain, a candidate found *disabled* is dropped
-        from the set: it can only become enabled again through a marking
-        change, and every change re-adds the activities indexed under the
-        changed places (conservative ones are re-added after every
-        completion) -- so the drop never changes which activity fires
-        next, it just stops re-checking stale candidates every round.
+        Each chain round makes *one* vectorised arc-enablement pass over
+        every still-chaining row -- a ``tokens >= weight`` comparison on
+        the flattened arc tables followed by ``np.logical_and.reduceat``
+        per arc segment, packed into one arc bitmask per row -- then walks
+        each row's arc-enabled candidates from the lowest set bit upward,
+        evaluating gate predicates per row until the first fully-enabled
+        candidate fires.  That is exactly the scalar chain's walk order
+        and gate-call sequence: the marking is constant during a round's
+        walk, so checking arcs up front observes the same state the
+        scalar's interleaved walk does.
+
+        Like the per-row chain this replaces, a candidate *verified*
+        disabled (by arcs or a gate) is dropped from its row's mask: it
+        can only become enabled again through a marking change, and every
+        change re-adds the activities indexed under the changed places
+        (conservative ones are re-added after every completion) -- so the
+        drop never changes which activity fires next.  The vectorised arc
+        pass also verifies candidates *beyond* the round's firing point,
+        which the scalar walk never reached; dropping those is sound by
+        the same argument, since input-arc places are always part of an
+        activity's dependency index.  A row leaves the chain when no
+        candidate fires (drained) or its stop predicate triggers.
         """
         compiled = self._compiled
         instantaneous = compiled.instantaneous
-        if candidates is None:
-            candidates = set(range(len(instantaneous)))
-        tokens = row.tokens
-        marking = row.marking
-        changed_idx: Set[int] = set()
-        changed_names: Set[str] = set()
+        tokens_matrix = self._tokens
+        flat_places = compiled.inst_flat_places
+        flat_weights = compiled.inst_flat_weights
+        arc_starts = compiled.inst_arc_starts
+        arc_cols = compiled.inst_arc_cols
+        n_inst = compiled.n_inst
+        have_arcs = flat_places.size > 0
+        # Arc-less activities are always arc-enabled; the packed arc
+        # verdicts leave their bits zero, so OR their bits back in.
+        arcless_bits = ((1 << n_inst) - 1) & ~sum(
+            1 << int(column) for column in arc_cols
+        )
+        stride = (n_inst + 7) // 8
+        # Up to 62 instantaneous activities the per-row arc verdicts fit
+        # an int64, so one matmul with the column bit weights replaces the
+        # packbits round-trip (the wide fallback keeps packbits).
+        narrow = n_inst <= 62
+        if narrow and have_arcs:
+            col_weights = np.asarray(
+                [1 << int(column) for column in arc_cols], dtype=np.int64
+            )
+        complete = self._complete
+        positions = [
+            position for position in range(len(rows)) if masks[position]
+        ]
         for _ in range(MAX_INSTANTANEOUS_CHAIN):
-            if not candidates:
-                return changed_idx, changed_names
-            fired = None
-            for position in sorted(candidates):
-                candidate = instantaneous[position]
-                enabled = True
-                for place, weight in candidate.input_arcs:
-                    if tokens[place] < weight:
-                        enabled = False
-                        break
-                if enabled:
+            if not positions:
+                return
+            if have_arcs:
+                row_ids = np.fromiter(
+                    (rows[position].index for position in positions),
+                    dtype=np.intp,
+                    count=len(positions),
+                )
+                arc_seg = np.logical_and.reduceat(
+                    tokens_matrix[np.ix_(row_ids, flat_places)]
+                    >= flat_weights,
+                    arc_starts,
+                    axis=1,
+                )
+                # Pack each row's per-activity arc verdicts into one
+                # bitmask (arc-less activities are always arc-enabled), so
+                # the per-row bookkeeping below is pure integer bit
+                # arithmetic.
+                if narrow:
+                    arc_words = (arc_seg @ col_weights).tolist()
+                else:
+                    arc_ok = np.zeros((len(positions), n_inst), dtype=bool)
+                    arc_ok[:, arc_cols] = arc_seg
+                    packed = np.packbits(
+                        arc_ok, axis=1, bitorder="little"
+                    ).tobytes()
+            next_positions: List[int] = []
+            offset = 0
+            for ordinal, position in enumerate(positions):
+                viable = masks[position]
+                if have_arcs:
+                    if narrow:
+                        arc_bits = arcless_bits | arc_words[ordinal]
+                    else:
+                        arc_bits = arcless_bits | int.from_bytes(
+                            packed[offset : offset + stride], "little"
+                        )
+                        offset += stride
+                    # Arc-disabled candidates are verified disabled: drop.
+                    viable &= arc_bits
+                    masks[position] = viable
+                if not viable:
+                    continue
+                row = rows[position]
+                marking = row.marking
+                fired = None
+                while viable:
+                    low = viable & -viable
+                    candidate = instantaneous[low.bit_length() - 1]
+                    enabled = True
                     for gate in candidate.input_gates:
                         if not gate.predicate(marking):
                             enabled = False
                             break
-                if enabled:
-                    fired = candidate
-                    break
-                candidates.discard(position)
-            if fired is None:
-                return changed_idx, changed_names
-            step_idx, step_names = self._complete(row, fired)
-            changed_idx |= step_idx
-            changed_names |= step_names
-            if row.stopped:
-                return changed_idx, changed_names
-            candidates |= self._affected_instantaneous(step_idx, step_names)
+                    if enabled:
+                        fired = candidate
+                        break
+                    # Gate-refused: verified disabled, drop.
+                    masks[position] &= ~low
+                    viable &= ~low
+                if fired is None:
+                    continue
+                step_idx, step_names, step_bits = complete(row, fired)
+                if changes is not None:
+                    changed_idx, changed_names = changes[position]
+                    changed_idx |= step_idx
+                    changed_names |= step_names
+                if row.stopped:
+                    continue
+                masks[position] |= step_bits
+                next_positions.append(position)
+            positions = next_positions
         raise SANExecutionError(
             f"model {self.model.name!r}: more than {MAX_INSTANTANEOUS_CHAIN} "
             "consecutive instantaneous firings -- unstable (vanishing) loop?"
@@ -529,22 +731,6 @@ class BatchedSANExecutor:
     # ------------------------------------------------------------------
     # Dependency walks (index-based mirrors of the scalar executor's)
     # ------------------------------------------------------------------
-    def _affected_instantaneous(
-        self, changed_idx: Set[int], changed_names: Set[str]
-    ) -> Set[int]:
-        compiled = self._compiled
-        positions = set(compiled.global_inst_indices)
-        inst_by_place = compiled.inst_by_place
-        for place in changed_idx:
-            for activity in inst_by_place.get(place, ()):
-                positions.add(activity.index)
-        if changed_names:
-            inst_by_unknown = compiled.inst_by_unknown
-            for name in changed_names:
-                for activity in inst_by_unknown.get(name, ()):
-                    positions.add(activity.index)
-        return positions
-
     def _affected_timed(
         self, changed_idx: Set[int], changed_names: Set[str]
     ) -> Dict[int, CompiledActivity]:
@@ -586,15 +772,20 @@ class BatchedSANExecutor:
         return affected
 
     def _refresh_timed(
-        self, row: _Row, affected: Dict[int, CompiledActivity]
+        self, row: _Row, affected: Sequence[CompiledActivity]
     ) -> None:
-        """Re-evaluate enablement of the affected timed activities."""
+        """Re-evaluate enablement of the affected timed activities.
+
+        ``affected`` is ordered: the refresh (and therefore
+        seq-assignment) order is :meth:`_affected_timed`'s insertion
+        order, the scalar executor's contract.
+        """
         tokens = row.tokens
         marking = row.marking
         comp_row = self._comp[row.index]
         seq_row = self._seqs[row.index]
         samplers = row.samplers
-        for activity in affected.values():  # repro: ignore[DET001] insertion order is the documented refresh-order contract of _affected_timed
+        for activity in affected:
             index = activity.index
             scheduled = comp_row[index] != _INF
             if activity.enabled(tokens, marking):
@@ -626,6 +817,9 @@ class BatchedSANExecutor:
         """
         kind = activity.duration_kind
         if kind == DURATION_CONSTANT:
+            shared = self._constant_samplers.get(activity.index)
+            if shared is not None:
+                return shared
             constant = activity.constant_duration
             if constant < 0:
                 raise ValueError(
@@ -636,6 +830,7 @@ class BatchedSANExecutor:
             def constant_sampler(_marking: Marking, _value: float = constant) -> float:
                 return _value
 
+            self._constant_samplers[activity.index] = constant_sampler
             return constant_sampler
         rng = row.streams.stream(activity.duration_stream)
         if kind == DURATION_BATCHED:

@@ -34,7 +34,7 @@ traces pin down, so a batched row replays the scalar trajectory exactly:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, List, Sequence, Set, Tuple
+from typing import Callable, Dict, FrozenSet, Iterator, List, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -57,17 +57,35 @@ DurationSampler = Callable[[Marking], float]
 class CompiledCase:
     """One case of a compiled activity, with output effects by place index."""
 
-    __slots__ = ("case", "output_arcs", "output_gates")
+    __slots__ = (
+        "case",
+        "output_arcs",
+        "output_gates",
+        "change_idx",
+        "candidate_bits",
+    )
 
     def __init__(
         self,
         case: Case,
+        input_arcs: Tuple[Tuple[int, int], ...],
         output_arcs: Tuple[Tuple[int, int], ...],
         output_gates: Tuple[OutputGate, ...],
     ) -> None:
         self.case = case
         self.output_arcs = output_arcs
         self.output_gates = output_gates
+        #: Place indices every completion through this case changes via
+        #: arcs (weights are >= 1, so each arc write journals) -- the
+        #: static part of the completion's changed set; gate writes are
+        #: the dynamic remainder.
+        self.change_idx: FrozenSet[int] = frozenset(
+            place for place, _weight in input_arcs
+        ) | frozenset(place for place, _weight in output_arcs)
+        #: Candidate bitmask of the instantaneous activities affected by
+        #: the static changed set (conservatives included).  Filled in by
+        #: :class:`CompiledSANModel` once the dependency bit tables exist.
+        self.candidate_bits: int = 0
 
 
 class CompiledActivity:
@@ -112,6 +130,7 @@ class CompiledActivity:
         self.cases: Tuple[CompiledCase, ...] = tuple(
             CompiledCase(
                 case,
+                self.input_arcs,
                 tuple(
                     (place_index[place], weight)
                     for place, weight in case.output_arcs
@@ -142,7 +161,7 @@ class CompiledActivity:
                 elif supports_batch(dist):
                     self.duration_kind = DURATION_BATCHED
 
-    def enabled(self, tokens: List[int], marking: Marking) -> bool:
+    def enabled(self, tokens: Sequence[int], marking: Marking) -> bool:
         """The SAN enabling rule over one row of the token matrix."""
         for place, weight in self.input_arcs:
             if tokens[place] < weight:
@@ -176,8 +195,16 @@ class CompiledSANModel:
         "global_timed",
         "global_inst",
         "global_inst_indices",
+        "global_inst_bits",
+        "inst_bits_by_place",
+        "inst_bits_by_unknown",
+        "inst_flat_places",
+        "inst_flat_weights",
+        "inst_arc_starts",
+        "inst_arc_cols",
         "n_places",
         "n_timed",
+        "n_inst",
     )
 
     def __init__(self, model: SANModel) -> None:
@@ -255,6 +282,63 @@ class CompiledSANModel:
         self.global_inst_indices: Set[int] = {
             compiled.index for compiled in global_inst
         }
+
+        # Bitmask twins of the instantaneous dependency indexes, for the
+        # batched executor's matrix-level chain: bit ``i`` stands for
+        # firing-precedence position ``i``, so OR-ing the masks of the
+        # changed places rebuilds the candidate set with one integer OR
+        # per place, and the *lowest set bit* of a candidate mask is the
+        # next activity the scalar executor's rank-ordered walk would
+        # visit.
+        self.n_inst = len(self.instantaneous)
+        self.global_inst_bits = self._inst_bits(self.global_inst)
+        self.inst_bits_by_place: Dict[int, int] = {
+            place: self._inst_bits(activities)
+            for place, activities in self.inst_by_place.items()  # repro: ignore[DET001] re-keying only; the result is read by .get(key), never iterated in order
+        }
+        self.inst_bits_by_unknown: Dict[str, int] = {
+            name: self._inst_bits(activities)
+            for name, activities in self.inst_by_unknown.items()  # repro: ignore[DET001] re-keying only; the result is read by .get(key), never iterated in order
+        }
+
+        # Pre-resolve each case's static candidate bitmask (the arcs of a
+        # completion are fixed per case, so its candidate set is too, up
+        # to gate writes, which the executor ORs in dynamically).
+        for compiled in self.timed + self.instantaneous:
+            for compiled_case in compiled.cases:
+                bits = self.global_inst_bits
+                for place in compiled_case.change_idx:
+                    bits |= self.inst_bits_by_place.get(place, 0)
+                compiled_case.candidate_bits = bits
+
+        # Flattened instantaneous input arcs, grouped by activity, for one
+        # ``np.logical_and.reduceat`` arc-enablement check per chain round
+        # over every chaining row at once: ``flat_places``/``flat_weights``
+        # concatenate each activity's arcs, ``arc_starts`` marks the
+        # segment boundaries (reduceat input), and ``arc_cols`` maps each
+        # segment back to its activity index.  Arc-less activities have no
+        # segment; their mask column defaults to enabled.
+        flat_places: List[int] = []
+        flat_weights: List[int] = []
+        arc_starts: List[int] = []
+        arc_cols: List[int] = []
+        for compiled in self.instantaneous:
+            if compiled.input_arcs:
+                arc_cols.append(compiled.index)
+                arc_starts.append(len(flat_places))
+                for place, weight in compiled.input_arcs:
+                    flat_places.append(place)
+                    flat_weights.append(weight)
+        self.inst_flat_places = np.asarray(flat_places, dtype=np.intp)
+        self.inst_flat_weights = np.asarray(flat_weights, dtype=np.int64)
+        self.inst_arc_starts = np.asarray(arc_starts, dtype=np.intp)
+        self.inst_arc_cols = np.asarray(arc_cols, dtype=np.intp)
+
+    def _inst_bits(self, activities: Sequence[CompiledActivity]) -> int:
+        bits = 0
+        for compiled in activities:
+            bits |= 1 << compiled.index
+        return bits
 
     def _index_activity(
         self,
@@ -363,24 +447,51 @@ class RowMarking(Marking):
     are journalled by name, mirroring the scalar marking.
     """
 
-    __slots__ = ("_compiled", "_row", "_overflow", "_changed_idx", "_changed_names")
+    __slots__ = (
+        "_compiled",
+        "_index",
+        "_row",
+        "_mirror",
+        "_overflow",
+        "_changed_idx",
+        "_changed_names",
+    )
 
-    def __init__(self, compiled: CompiledSANModel, row: List[int]) -> None:
+    def __init__(
+        self,
+        compiled: CompiledSANModel,
+        row: List[int],
+        mirror: "np.ndarray | None" = None,
+    ) -> None:
         # Deliberately does NOT call Marking.__init__: token storage is the
         # shared row list, not a private dict.  Marking's derived helpers
         # (add/remove/has/set_all/__eq__) all route through the overridden
         # accessors below, and Activity.enabled's `_tokens` fast path falls
         # back to the mapping interface for this class (the slot is unset).
+        #
+        # ``mirror`` is an optional view of this row in the executor's
+        # persistent token matrix: scalar reads stay on the fast Python
+        # list, while every write is duplicated into the matrix so the
+        # vectorised passes (arc masks, the matrix chain) always see
+        # current state.
         self._compiled = compiled
+        self._index = compiled.place_index
         self._row = row
+        self._mirror = mirror
         self._overflow: Dict[str, int] = {}
         self._changed_idx: Set[int] = set()
         self._changed_names: Set[str] = set()
 
     # -- accessors ------------------------------------------------------
     def __getitem__(self, place: PlaceRef) -> int:
+        # Fast path: string name of a declared place (the overwhelmingly
+        # common call shape from gates, rewards and stop predicates).
+        try:
+            return self._row[self._index[place]]
+        except KeyError:
+            pass
         name = place if isinstance(place, str) else place.name
-        index = self._compiled.place_index.get(name)
+        index = self._index.get(name)
         if index is None:
             return self._overflow.get(name, 0)
         return self._row[index]
@@ -401,6 +512,8 @@ class RowMarking(Marking):
         if self._row[index] != count:
             self._changed_idx.add(index)
         self._row[index] = count
+        if self._mirror is not None:
+            self._mirror[index] = count
 
     def __contains__(self, place: PlaceRef) -> bool:
         name = place if isinstance(place, str) else place.name
@@ -415,10 +528,17 @@ class RowMarking(Marking):
 
     # -- journal --------------------------------------------------------
     def take_changes(self) -> Tuple[Set[int], Set[str]]:
-        """Changed (place indices, overflow names) since the last call."""
+        """Changed (place indices, overflow names) since the last call.
+
+        An *empty* journal set is returned as-is (not replaced): it can
+        only become non-empty by being the next call's own return value,
+        so callers treating the result as a snapshot stay consistent
+        while the hot path skips two allocations per completion.
+        """
         changed_idx = self._changed_idx
         changed_names = self._changed_names
-        self._changed_idx = set()
+        if changed_idx:
+            self._changed_idx = set()
         if changed_names:
             self._changed_names = set()
         return changed_idx, changed_names

@@ -13,13 +13,25 @@ from __future__ import annotations
 import math
 import warnings
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Callable, Dict, Iterable, List, Optional, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Union,
+)
 
 if TYPE_CHECKING:
     from concurrent.futures import ProcessPoolExecutor
 
 from repro.des.simulator import Simulator
+from repro.san import execution
 from repro.san.batched import BatchedSANExecutor
+from repro.san.compiled import DURATION_GENERIC, compile_model
 from repro.san.executor import SANExecutor
 from repro.san.marking import Marking
 from repro.san.model import SANModel
@@ -31,11 +43,46 @@ ModelFactory = Callable[[], SANModel]
 RewardFactory = Callable[[], Sequence[RewardVariable]]
 MarkingPredicate = Callable[[Marking], bool]
 
-#: Default replications per lock-step batch under ``strategy="batched"``.
-#: Large enough to amortise the per-round vectorised bookkeeping, small
-#: enough that per-row divergence (finished rows idling in the batch)
-#: stays cheap.
-DEFAULT_BATCH_SIZE = 256
+#: Cell budget of :func:`auto_batch_size`.  The lock-step executor's
+#: per-round working set is roughly ``batch x (places + activities)``
+#: matrix cells (the token matrix, enablement masks and pre-drawn
+#: duration columns); sizing batches to this budget (~1 MiB of int64
+#: cells) keeps that working set cache-resident without starving the
+#: vectorised rounds of rows.
+AUTO_BATCH_CELL_BUDGET = 131_072
+
+#: Bounds of :func:`auto_batch_size`: below the floor the vectorised
+#: bookkeeping stops amortising, above the ceiling per-row divergence
+#: (finished rows idling in the lock-step batch) dominates.
+MIN_AUTO_BATCH_SIZE = 32
+MAX_AUTO_BATCH_SIZE = 1_024
+
+
+def auto_batch_size(model: SANModel) -> int:
+    """Replications per lock-step batch, from the compiled model's size.
+
+    This is the resolution of ``batch_size="auto"``: a pure function of
+    the model *structure* (places x activities, duration-kind mix), so
+    the chosen size -- like any explicit size -- never changes results,
+    only throughput.  Small models get wide batches (more rows amortise
+    each vectorised round), large models get narrower ones (each row
+    already carries many matrix cells per round).  Models dominated by
+    generic-duration activities are halved: their draws happen per
+    completion on the scalar path rather than in pre-drawn batch
+    columns, so extra rows amortise less there.
+    """
+    compiled = compile_model(model)
+    cells = (
+        compiled.n_places + len(compiled.timed) + len(compiled.instantaneous)
+    )
+    size = AUTO_BATCH_CELL_BUDGET // max(1, cells)
+    timed = compiled.timed
+    generic = sum(
+        1 for activity in timed if activity.duration_kind == DURATION_GENERIC
+    )
+    if timed and 2 * generic >= len(timed):
+        size //= 2
+    return max(MIN_AUTO_BATCH_SIZE, min(MAX_AUTO_BATCH_SIZE, size))
 
 
 @dataclass
@@ -241,8 +288,8 @@ class SimulativeSolver:
         max_replications: int = 10_000,
         jobs: Optional[int] = 1,
         precision_batch: int = 10,
-        strategy: str = "scalar",
-        batch_size: Optional[int] = None,
+        strategy: Optional[str] = None,
+        batch_size: Optional[Union[int, str]] = None,
     ) -> SolverResult:
         """Run replications and aggregate the rewards.
 
@@ -272,21 +319,29 @@ class SimulativeSolver:
             evaluated at chunk boundaries only, so the replication count is
             a function of the seed and this value, never of ``jobs``.
         strategy:
-            ``"scalar"`` (default) loops replications through
-            ``executor_class``; ``"batched"`` hands whole chunks of the
-            replication plan to ``batched_executor_class``, which advances
-            them lock-step.  Replication ``i`` uses the same derived seed
-            and named streams under both strategies, so the results are
-            bit-identical -- the strategy only changes throughput.
+            ``"scalar"`` loops replications through ``executor_class``;
+            ``"batched"`` hands whole chunks of the replication plan to
+            ``batched_executor_class``, which advances them lock-step.
+            ``None`` (default) defers to the process execution policy
+            (:mod:`repro.san.execution`: the ``REPRO_SAN_STRATEGY``
+            environment variable, else ``"scalar"``).  Replication ``i``
+            uses the same derived seed and named streams under both
+            strategies, so the results are bit-identical -- the strategy
+            only changes throughput.
         batch_size:
-            Replications per lock-step batch under ``strategy="batched"``
-            (default: whole chunks, capped at ``DEFAULT_BATCH_SIZE``).
-            Like ``jobs``, the value never changes results.
+            Replications per lock-step batch under ``strategy="batched"``:
+            a positive count or ``"auto"`` for the compiled-model-size
+            heuristic (:func:`auto_batch_size`).  ``None`` (default)
+            defers to the process execution policy (``REPRO_SAN_BATCH_SIZE``,
+            else ``"auto"``).  Like ``jobs``, the value never changes
+            results.
         """
-        if strategy not in ("scalar", "batched"):
-            raise ValueError(
-                f"unknown strategy {strategy!r}: expected 'scalar' or 'batched'"
-            )
+        strategy = execution.resolve_strategy(strategy)
+        batch_size = execution.resolve_batch_size(batch_size)
+        if strategy == "batched" and batch_size == execution.AUTO_BATCH_SIZE:
+            # Resolve the heuristic once per solve (not per precision-loop
+            # chunk): it compiles a model to measure the structure.
+            batch_size = auto_batch_size(self._model())
         result = SolverResult(confidence=self.confidence)
         if target_reward is None or relative_precision is None:
             result.replications.extend(
@@ -376,7 +431,7 @@ class SimulativeSolver:
         jobs: Optional[int],
         pool: Optional[ProcessPoolExecutor] = None,
         strategy: str = "scalar",
-        batch_size: Optional[int] = None,
+        batch_size: Optional[Union[int, str]] = None,
     ) -> List[ReplicationResult]:
         """Run the given replication indices, serially or on a worker pool.
 
@@ -419,18 +474,21 @@ class SimulativeSolver:
         indices: List[int],
         jobs: Optional[int],
         pool: Optional[ProcessPoolExecutor] = None,
-        batch_size: Optional[int] = None,
+        batch_size: Optional[Union[int, str]] = None,
     ) -> List[ReplicationResult]:
         """Run replication indices in lock-step batches.
 
         Each batch is one :meth:`run_batch` call; the serial path runs the
         batches in-process, the parallel path makes each batch one sweep
-        point.  Results are aggregated in replication order either way.
+        point and hands workers whole *groups* of consecutive batches per
+        submission (amortising submission overhead while keeping cache
+        and timing bookkeeping batch-granular).  Results are aggregated
+        in replication order either way.
         """
-        if batch_size is None:
-            batch_size = min(len(indices), DEFAULT_BATCH_SIZE)
-        if batch_size < 1:
-            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if batch_size is None or batch_size == execution.AUTO_BATCH_SIZE:
+            batch_size = auto_batch_size(self._model())
+        if not isinstance(batch_size, int) or batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size!r}")
         batches = [
             tuple(indices[start : start + batch_size])
             for start in range(0, len(indices), batch_size)
@@ -439,7 +497,12 @@ class SimulativeSolver:
             return [
                 result for batch in batches for result in self.run_batch(batch)
             ]
-        from repro.experiments.runner import ReplicationPlan, SweepPoint, iter_plan
+        from repro.experiments.runner import (
+            ReplicationPlan,
+            SweepPoint,
+            iter_plan,
+            resolve_jobs,
+        )
 
         points = tuple(
             SweepPoint.make(
@@ -453,9 +516,19 @@ class SimulativeSolver:
         plan = ReplicationPlan(
             settings=_ReplicationSeeds(self.seed), points=points, name="san-solver"
         )
+        # Two groups per worker: each submission carries several batches
+        # (one pickled solver + one result message per group instead of
+        # per batch) while still leaving the pool slack to balance load.
+        # Grouping only changes the submission envelope -- per-replication
+        # seeds are fixed and results stream in plan order regardless.
+        group_size = max(
+            1, math.ceil(len(batches) / (2 * resolve_jobs(jobs)))
+        )
         return [
             result
-            for _point, batch_results in iter_plan(plan, jobs=jobs, pool=pool)
+            for _point, batch_results in iter_plan(
+                plan, jobs=jobs, pool=pool, group_size=group_size
+            )
             for result in batch_results
         ]
 

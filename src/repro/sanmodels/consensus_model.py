@@ -22,7 +22,7 @@ empirical CDF).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence, Tuple
+from typing import Callable, Optional, Sequence, Tuple, Union
 
 from repro.san.composition import join
 from repro.san.marking import Marking
@@ -255,9 +255,16 @@ class ConsensusSANExperiment:
     strategy:
         Executor strategy of the simulative solver: ``"scalar"`` loops the
         replications, ``"batched"`` advances them lock-step
-        (:class:`~repro.san.batched.BatchedSANExecutor`).  Replication
-        seeds and named streams are identical under both, so the results
-        are bit-identical -- the strategy only changes throughput.
+        (:class:`~repro.san.batched.BatchedSANExecutor`), ``None``
+        (default) defers to the process execution policy
+        (:mod:`repro.san.execution`).  Replication seeds and named
+        streams are identical under both, so the results are
+        bit-identical -- the strategy only changes throughput.
+    batch_size:
+        Replications per lock-step batch under the batched strategy: a
+        count, ``"auto"`` (sized from the compiled model), or ``None``
+        (default) to defer to the process execution policy.  Never
+        changes results.
     """
 
     def __init__(
@@ -269,7 +276,8 @@ class ConsensusSANExperiment:
         seed: int = 0,
         max_time_ms: float = 10_000.0,
         confidence: float = 0.90,
-        strategy: str = "scalar",
+        strategy: Optional[str] = None,
+        batch_size: Optional[Union[int, str]] = None,
     ) -> None:
         self.n_processes = n_processes
         self.parameters = parameters or SANParameters()
@@ -279,6 +287,7 @@ class ConsensusSANExperiment:
         self.max_time_ms = max_time_ms
         self.confidence = confidence
         self.strategy = strategy
+        self.batch_size = batch_size
 
     # ------------------------------------------------------------------
     def model_factory(self) -> SANModel:
@@ -317,6 +326,7 @@ class ConsensusSANExperiment:
         max_replications: int = 5_000,
         jobs: Optional[int] = 1,
         strategy: Optional[str] = None,
+        batch_size: Optional[Union[int, str]] = None,
     ) -> SANLatencyResult:
         """Run the experiment and return latency statistics.
 
@@ -324,16 +334,23 @@ class ConsensusSANExperiment:
         confidence interval of the mean latency is that tight (relative to
         the mean) or ``max_replications`` is reached.  ``jobs > 1`` fans
         the replications out over worker processes with bit-identical
-        results (see :meth:`SimulativeSolver.solve`).  ``strategy``
-        overrides the experiment's configured executor strategy for this
-        run; like ``jobs``, it never changes results.
+        results (see :meth:`SimulativeSolver.solve`).  ``strategy`` and
+        ``batch_size`` override the experiment's configured values for
+        this run (``None`` falls back to the experiment's, then to the
+        process execution policy); like ``jobs``, they never change
+        results.
         """
         solver = self.solver()
         if strategy is None:
             strategy = self.strategy
+        if batch_size is None:
+            batch_size = self.batch_size
         if relative_precision is None:
             result = solver.solve(
-                replications=replications, jobs=jobs, strategy=strategy
+                replications=replications,
+                jobs=jobs,
+                strategy=strategy,
+                batch_size=batch_size,
             )
         else:
             result = solver.solve(
@@ -344,6 +361,7 @@ class ConsensusSANExperiment:
                 max_replications=max_replications,
                 jobs=jobs,
                 strategy=strategy,
+                batch_size=batch_size,
             )
         latencies = result.values("latency")
         undecided = result.n - len(latencies)

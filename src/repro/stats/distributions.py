@@ -22,9 +22,16 @@ scalar SAN executor's pre-draw cache and the lock-step batched executor
 whole batch without perturbing fixed-seed results.  The contract is pinned
 by example in ``test_stats_distributions`` and property-tested (bit
 identity plus generator-state equality, over nested ``Shifted`` chains) in
-``test_stats_properties``.  Mixtures draw from two interleaved methods, so
-they deliberately do not offer a batch path; :func:`supports_batch` is the
-single gate callers use to decide.
+``test_stats_properties``.  Mixtures interleave two draws per sample --
+component selection, then the component's own draw -- and batch only when
+every component is a :class:`Uniform`: both draws are then exactly one
+``rng.random()`` double each, so the batch path can consume the same bit
+stream (``2 * size`` doubles) via an inverse-CDF gather and stay
+bit-identical, including the paper's :class:`BimodalUniform` delay fits.
+Mixtures with any non-Uniform component keep the scalar-only path
+(ziggurat-backed draws consume a variable number of doubles, which no
+fixed-stride batch can replay); :func:`supports_batch` is the single gate
+callers use to decide.
 """
 
 from __future__ import annotations
@@ -231,6 +238,19 @@ class Mixture:
             raise ValueError("Mixture weights must be > 0")
         self._weights = weights / weights.sum()
         self._dists = [d for _, d in components]
+        # Inverse-CDF selection table.  numpy's Generator.choice draws one
+        # random() double and searches the normalised cumulative weights, so
+        # sampling through this table is bit-identical to rng.choice while
+        # skipping its per-call argument validation (~10x on the scalar
+        # path) and vectorising on the batch path.
+        self._cdf = self._weights.cumsum()
+        self._cdf /= self._cdf[-1]
+        self._all_uniform = all(
+            isinstance(dist, Uniform) for dist in self._dists
+        )
+        if self._all_uniform:
+            self._lows = np.asarray([d.low for d in self._dists])
+            self._spans = np.asarray([d.high - d.low for d in self._dists])
 
     @property
     def weights(self) -> np.ndarray:
@@ -243,8 +263,27 @@ class Mixture:
         return list(self._dists)
 
     def sample(self, rng: np.random.Generator) -> float:
-        index = int(rng.choice(len(self._dists), p=self._weights))
+        index = int(np.searchsorted(self._cdf, rng.random(), side="right"))
         return self._dists[index].sample(rng)
+
+    def sample_batch(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """``size`` draws at once, bit-identical to repeated :meth:`sample`.
+
+        Only mixtures of :class:`Uniform` components batch: a scalar draw
+        is then exactly two ``rng.random()`` doubles (selector, position),
+        so drawing ``2 * size`` doubles and de-interleaving replays the
+        scalar bit stream -- selectors at even offsets through the
+        inverse-CDF table, positions at odd offsets through the affine
+        ``low + span * u`` form numpy's ``uniform`` uses internally.
+        """
+        if not self._all_uniform:
+            raise TypeError(
+                f"{self!r} has a non-Uniform component; only all-Uniform "
+                "mixtures offer a bit-identical batch path"
+            )
+        draws = rng.random(2 * size)
+        indices = np.searchsorted(self._cdf, draws[0::2], side="right")
+        return self._lows[indices] + self._spans[indices] * draws[1::2]
 
     def mean(self) -> float:
         return float(sum(w * d.mean() for w, d in zip(self._weights, self._dists, strict=True)))
@@ -364,12 +403,16 @@ def distribution_from_spec(spec: Mapping[str, object]) -> Distribution:
 def supports_batch(dist: object) -> bool:
     """``True`` if ``dist.sample_batch`` is usable for bit-identical batches.
 
-    Duck-typed on the ``sample_batch`` attribute, with one refinement: a
-    :class:`Shifted` distribution only batches when its base does (its
-    ``sample_batch`` raises ``TypeError`` otherwise).
+    Duck-typed on the ``sample_batch`` attribute, with two refinements: a
+    :class:`Shifted` distribution only batches when its base does, and a
+    :class:`Mixture` only batches when every component is a
+    :class:`Uniform` (their ``sample_batch`` raises ``TypeError``
+    otherwise).
     """
     if not hasattr(dist, "sample_batch"):
         return False
     if isinstance(dist, Shifted):
         return supports_batch(dist.base)
+    if isinstance(dist, Mixture):
+        return dist._all_uniform
     return True

@@ -196,3 +196,71 @@ def test_missing_calibration_fallback_warns(tmp_path):
     with pytest.warns(UserWarning, match="no recorded calibration_s"):
         (result,) = load_results(str(path))
     assert result.calibration_s == calibration_seconds()
+
+
+# ----------------------------------------------------------------------
+# Cumulative perf trajectory
+# ----------------------------------------------------------------------
+def _write_results_with_replications(path, means, replications):
+    payload = {
+        "benchmarks": [
+            {
+                "fullname": name,
+                "stats": {"mean": mean},
+                "extra_info": {"calibration_s": 0.02, "replications": replications},
+            }
+            for name, mean in means.items()
+        ]
+    }
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+def test_report_trajectory_appends_and_computes_reps_per_s(tmp_path):
+    results = _write_results_with_replications(
+        tmp_path / "r.json", {"bench::solve": 0.5}, replications=200
+    )
+    trajectory_path = str(tmp_path / "BENCH_trajectory.json")
+    trajectory = benchmarking.report_trajectory(results, trajectory_path, "PR-9")
+    (entry,) = trajectory["entries"]
+    assert entry["label"] == "PR-9"
+    assert entry["benchmarks"]["bench::solve"]["reps_per_s"] == pytest.approx(400.0)
+    assert entry["benchmarks"]["bench::solve"]["replications"] == 200
+    rendered = benchmarking.render_trajectory(benchmarking.load_trajectory(trajectory_path))
+    assert "PR-9" in rendered and "bench::solve" in rendered
+
+
+def test_report_trajectory_refreshes_existing_label_in_place(tmp_path):
+    trajectory_path = str(tmp_path / "BENCH_trajectory.json")
+    first = _write_results_with_replications(
+        tmp_path / "a.json", {"bench::solve": 0.5}, replications=200
+    )
+    benchmarking.report_trajectory(first, trajectory_path, "PR-8")
+    benchmarking.report_trajectory(first, trajectory_path, "PR-9")
+    rerun = _write_results_with_replications(
+        tmp_path / "b.json", {"bench::solve": 0.25}, replications=200
+    )
+    trajectory = benchmarking.report_trajectory(rerun, trajectory_path, "PR-9")
+    labels = [entry["label"] for entry in trajectory["entries"]]
+    assert labels == ["PR-8", "PR-9"]  # refreshed in place, order kept
+    assert trajectory["entries"][1]["benchmarks"]["bench::solve"][
+        "reps_per_s"
+    ] == pytest.approx(800.0)
+
+
+def test_load_trajectory_rejects_unknown_schema(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"schema": 99, "entries": []}))
+    with pytest.raises(BaselineError):
+        benchmarking.load_trajectory(str(bad))
+
+
+def test_cli_report_writes_trajectory(tmp_path, capsys):
+    results = _write_results_with_replications(
+        tmp_path / "r.json", {"bench::solve": 0.5}, replications=100
+    )
+    trajectory_path = str(tmp_path / "BENCH_trajectory.json")
+    assert main(["report", results, trajectory_path, "--label", "PR-9"]) == 0
+    out = capsys.readouterr().out
+    assert "PR-9" in out
+    assert json.loads((tmp_path / "BENCH_trajectory.json").read_text())["entries"]

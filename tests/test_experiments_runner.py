@@ -205,6 +205,56 @@ def test_timing_hook_fires_once_per_point_in_plan_order(settings, jobs):
     assert not any(cached for _label, _s, cached in seen)
 
 
+# ----------------------------------------------------------------------
+# Grouped pool submissions (group_size > 1)
+# ----------------------------------------------------------------------
+def test_grouped_execution_equals_serial_execution(settings):
+    # 7 points across 2-3 workers with uneven group splits (3/3/1, 2/2/2/1):
+    # grouping is a submission-granularity knob, never a result knob.
+    plan = _plan(settings, tags=tuple("abcdefg"))
+    serial = execute_plan(plan, jobs=1)
+    assert execute_plan(plan, jobs=2, group_size=3) == serial
+    assert execute_plan(plan, jobs=3, group_size=2) == serial
+    assert execute_plan(plan, jobs=2, group_size=100) == serial  # one big group
+
+
+def test_group_size_must_be_positive(settings):
+    plan = _plan(settings)
+    with pytest.raises(ValueError, match="group_size"):
+        list(iter_plan(plan, jobs=2, group_size=0))
+
+
+def test_grouped_execution_keeps_per_point_cache_and_timing(settings, tmp_path):
+    plan = _plan(settings, tags=tuple("abcde"))
+    cache = ResultCache(str(tmp_path))
+    # Pre-warm two points so the grouped run must mix hits and misses.
+    warm = ReplicationPlan(settings=settings, points=plan.points[1:3], name="echo")
+    list(iter_plan(warm, jobs=1, cache=cache))
+
+    seen = []
+    results = [
+        result
+        for _point, result in iter_plan(
+            plan,
+            jobs=2,
+            group_size=2,
+            cache=cache,
+            timing_hook=lambda p, s, c: seen.append((p.label, c)),
+        )
+    ]
+    assert [tag for tag, _seed in results] == ["a", "b", "c", "d", "e"]
+    # The hook still fires once per point, in plan order, with cache flags.
+    assert seen == [
+        ("echo a", False),
+        ("echo b", True),
+        ("echo c", True),
+        ("echo d", False),
+        ("echo e", False),
+    ]
+    # Every point (cached or grouped) landed in the cache exactly once.
+    assert len(sorted(tmp_path.glob("*.pkl"))) == len(plan.points)
+
+
 def test_timing_hook_marks_cache_hits(settings, tmp_path):
     plan = _plan(settings)
     cache = ResultCache(str(tmp_path))

@@ -130,6 +130,43 @@ def test_solver_batch_size_never_changes_results():
         ], batch_size
 
 
+def test_solver_batch_size_auto_and_jobs_never_change_results():
+    # The acceptance matrix of the adaptive-batching PR: "auto" sizing and
+    # pooled execution (several batches per worker group) both reproduce
+    # the serial scalar results bit-for-bit.
+    experiment = ConsensusSANExperiment(n_processes=3, seed=3)
+    reference = experiment.solver().solve(replications=25)
+    for kwargs in (
+        {"batch_size": "auto"},
+        {"batch_size": "auto", "jobs": 2},
+        {"batch_size": 4, "jobs": 2},  # 7 batches over 2 workers: grouped
+    ):
+        other = experiment.solver().solve(
+            replications=25, strategy="batched", **kwargs
+        )
+        assert [r.rewards for r in other.replications] == [
+            r.rewards for r in reference.replications
+        ], kwargs
+
+
+def test_auto_batch_size_is_structural():
+    from repro.san.solver import (
+        MAX_AUTO_BATCH_SIZE,
+        MIN_AUTO_BATCH_SIZE,
+        auto_batch_size,
+    )
+    from repro.sanmodels.consensus_model import build_consensus_model
+
+    small = auto_batch_size(build_consensus_model(3))
+    # A pure function of the model structure: any instance of the same
+    # structure gives the same size (so jobs/workers always agree).
+    assert auto_batch_size(build_consensus_model(3)) == small
+    assert MIN_AUTO_BATCH_SIZE <= small <= MAX_AUTO_BATCH_SIZE
+    # Larger models get narrower batches (never wider).
+    large = auto_batch_size(build_consensus_model(10))
+    assert MIN_AUTO_BATCH_SIZE <= large <= small
+
+
 def test_solver_precision_loop_matches_scalar_under_batched_strategy():
     experiment = ConsensusSANExperiment(n_processes=3, seed=5)
 

@@ -32,6 +32,7 @@ from repro.stats.distributions import (
     BimodalUniform,
     Constant,
     Exponential,
+    Mixture,
     Shifted,
 )
 from tests.test_san_golden_trace import build_golden_model
@@ -100,7 +101,14 @@ def test_duration_kind_classification():
         )
     )
     model.add_activity(
-        TimedActivity("mixture", BimodalUniform(), input_arcs=["p"])
+        TimedActivity("bimodal", BimodalUniform(), input_arcs=["p"])
+    )
+    model.add_activity(
+        TimedActivity(
+            "mixture",
+            Mixture([(1.0, Exponential(1.0))]),
+            input_arcs=["p"],
+        )
     )
     compiled = compile_model(model)
     kinds = {a.name: a.duration_kind for a in compiled.timed}
@@ -108,6 +116,9 @@ def test_duration_kind_classification():
         "const": DURATION_CONSTANT,
         "batched": DURATION_BATCHED,
         "shifted": DURATION_BATCHED,
+        # All-Uniform mixtures (the paper's bimodal delay fit) batch via
+        # the inverse-CDF scheme; other mixtures stay on the generic path.
+        "bimodal": DURATION_BATCHED,
         "mixture": DURATION_GENERIC,
     }
     const = next(a for a in compiled.timed if a.name == "const")

@@ -168,3 +168,62 @@ def test_batched_enablement_mask_agrees_with_full_reevaluation(data):
     for row, marking in enumerate(batch):
         expected = enabled_activity_names(_CONSENSUS_MODEL, marking)
         assert executor.enabled_activity_names(row) == expected, row
+
+
+@given(data=st.data())
+@settings(max_examples=20, deadline=None)
+def test_matrix_instantaneous_firing_agrees_with_reference_executor(data):
+    # Start a batch from random consensus markings -- many of which enable
+    # instantaneous activities immediately, so the matrix-level chain
+    # walker (batched.py) fires whole cascades at start-up -- and hold
+    # every row to the ReferenceExecutor run of the same (marking, seed):
+    # identical end time, completion count and final marking.  The
+    # reference executor re-evaluates everything from scratch each step,
+    # so agreement here pins the matrix chain's firing *order* contract,
+    # not just its enablement bookkeeping.
+    from repro.san.batched import BatchedSANExecutor
+
+    batch = []
+    for row in range(data.draw(st.integers(min_value=1, max_value=3))):
+        places = data.draw(
+            st.lists(
+                st.sampled_from(_CONSENSUS_PLACES),
+                min_size=1,
+                max_size=12,
+                unique=True,
+            ),
+            label=f"places[{row}]",
+        )
+        counts = {
+            place: data.draw(
+                st.integers(min_value=0, max_value=2),
+                label=f"tokens[{row}][{place}]",
+            )
+            for place in places
+        }
+        batch.append(Marking(counts))
+    seeds = [
+        data.draw(
+            st.integers(min_value=0, max_value=2**31 - 1), label=f"seed[{row}]"
+        )
+        for row in range(len(batch))
+    ]
+
+    executor = BatchedSANExecutor.for_batch(
+        _CONSENSUS_MODEL,
+        seeds=seeds,
+        rewards_per_row=[[] for _ in batch],
+        initial_markings=batch,
+    )
+    outcomes = executor.run_batch(until=5.0)
+
+    for row, (marking, seed, outcome) in enumerate(
+        zip(batch, seeds, outcomes, strict=True)
+    ):
+        reference = ReferenceExecutor(
+            _CONSENSUS_MODEL, Simulator(seed=seed), initial_marking=marking
+        )
+        expected = reference.run(until=5.0)
+        assert outcome.end_time == expected.end_time, row
+        assert outcome.completions == expected.completions, row
+        assert outcome.final_marking == expected.final_marking, row

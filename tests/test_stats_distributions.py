@@ -182,6 +182,9 @@ BATCHABLE = [
     LogNormal(0.2, 0.4),
     Shifted(0.05, Exponential(0.8)),
     Shifted(0.05, Shifted(0.01, Uniform(0.0, 1.0))),
+    BimodalUniform(),
+    Mixture([(0.3, Uniform(0.0, 1.0)), (0.5, Uniform(2.0, 3.0)), (0.2, Uniform(5.0, 5.5))]),
+    Shifted(0.05, BimodalUniform()),
 ]
 
 
@@ -198,15 +201,24 @@ def test_sample_batch_is_bit_identical_to_scalar_draws(dist):
     assert scalar_rng.bit_generator.state == batch_rng.bit_generator.state
 
 
-def test_supports_batch_rejects_mixtures_and_unbatchable_bases():
+def test_supports_batch_rejects_nonuniform_mixtures_and_unbatchable_bases():
     from repro.stats.distributions import supports_batch
 
-    assert not supports_batch(Mixture([(1.0, Exponential(1.0))]))
-    assert not supports_batch(BimodalUniform())
-    shifted_mixture = Shifted(0.1, BimodalUniform())
-    assert not supports_batch(shifted_mixture)
+    # Mixtures batch only when every component is a Uniform: any other
+    # component consumes a data-dependent number of doubles per draw, so
+    # no fixed-stride batch can replay the scalar bit stream.
+    exponential_mixture = Mixture([(1.0, Exponential(1.0))])
+    assert not supports_batch(exponential_mixture)
+    assert not supports_batch(Shifted(0.1, exponential_mixture))
     with pytest.raises(TypeError):
-        shifted_mixture.sample_batch(np.random.default_rng(0), 4)
+        exponential_mixture.sample_batch(np.random.default_rng(0), 4)
+    with pytest.raises(TypeError):
+        Shifted(0.1, exponential_mixture).sample_batch(
+            np.random.default_rng(0), 4
+        )
+    # ... while the paper's bimodal delay fit (all-Uniform) does batch.
+    assert supports_batch(BimodalUniform())
+    assert supports_batch(Shifted(0.1, BimodalUniform()))
 
 
 def test_normal_sample_batch_truncates_at_zero():

@@ -24,6 +24,7 @@ from repro.stats.distributions import (
     Constant,
     Exponential,
     LogNormal,
+    Mixture,
     Normal,
     Shifted,
     Uniform,
@@ -221,6 +222,19 @@ _base_batchable = st.one_of(
         st.floats(min_value=-1.0, max_value=1.0, **_finite),
         st.floats(min_value=0.0, max_value=1.5, **_finite),
     ),
+    # All-Uniform mixtures batch via the inverse-CDF scheme (PR 9).
+    st.lists(
+        st.tuples(
+            st.floats(min_value=1e-3, max_value=10.0, **_finite),
+            st.builds(
+                lambda low, width: Uniform(low, low + width),
+                st.floats(min_value=0.0, max_value=10.0, **_finite),
+                st.floats(min_value=0.0, max_value=10.0, **_finite),
+            ),
+        ),
+        min_size=1,
+        max_size=4,
+    ).map(Mixture),
 )
 
 #: Batchable distributions with 0-3 levels of Shifted nesting.
@@ -256,12 +270,14 @@ def test_sample_batch_bit_identity_and_state_equality(dist, seed, size):
     batchable=st.booleans(),
 )
 def test_supports_batch_refines_through_nested_shifted(depth, batchable):
-    dist = Exponential(1.0) if batchable else BimodalUniform()
+    # The unbatchable base is a mixture with a non-Uniform component;
+    # all-Uniform mixtures (e.g. BimodalUniform) batch since PR 9.
+    dist = Exponential(1.0) if batchable else Mixture([(1.0, Exponential(1.0))])
     for _ in range(depth):
         dist = Shifted(0.1, dist)
     # supports_batch sees through any nesting depth to the base: a
     # Shifted chain batches exactly when its innermost base does.
     assert supports_batch(dist) is batchable
     if not batchable:
-        with pytest.raises(TypeError, match="no batch sampler"):
+        with pytest.raises(TypeError, match="all-Uniform"):
             dist.sample_batch(np.random.default_rng(0), 4)
