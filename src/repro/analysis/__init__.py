@@ -19,6 +19,9 @@ them:
   (justification text required), and committed-baseline support;
 * :mod:`repro.analysis.report` -- human text, JSON, and GitHub
   annotation renderings;
+* :mod:`repro.analysis.docs` -- a separate, self-contained gate: the
+  intra-repo markdown link checker behind the CI ``docs`` job
+  (``python -m repro.analysis.docs``);
 * ``python -m repro.analysis src tests benchmarks`` -- the CLI, which
   exits nonzero on any unsuppressed finding.
 

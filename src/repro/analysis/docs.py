@@ -1,0 +1,150 @@
+"""Intra-repo markdown link checker for the docs CI gate.
+
+``README.md`` and ``docs/ARCHITECTURE.md`` route readers across the
+repository with relative links; a file rename or section retitle strands
+them silently.  This module resolves every relative link (and
+``#fragment`` heading anchor) in ``README.md``, ``ROADMAP.md`` and
+``docs/**/*.md`` against the working tree and reports the broken ones.
+
+Run as ``python -m repro.analysis.docs [root]``:
+
+0   every link resolves
+1   at least one broken link (the CI gate)
+2   usage error (root is not a directory)
+
+External links (``http(s)://``, ``mailto:``) are out of scope -- CI
+must not depend on the network.  The fenced doctest examples in
+``docs/ARCHITECTURE.md`` are checked separately by ``python -m doctest``;
+together the two checks make up the CI ``docs`` job.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Set, Tuple
+
+#: Inline markdown link or image: ``[text](target)`` / ``![alt](target)``,
+#: with an optional ``"title"`` after the target.
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)<>\s]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+_HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+_CODE_SPAN_RE = re.compile(r"`[^`]*`")
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+@dataclass(frozen=True)
+class BrokenLink:
+    """One unresolvable link: where it is and why it is broken."""
+
+    file: str
+    line: int
+    target: str
+    reason: str
+
+    def __str__(self) -> str:
+        return f"{self.file}:{self.line}: broken link '{self.target}' ({self.reason})"
+
+
+def markdown_files(root: Path) -> List[Path]:
+    """The markdown files the gate covers, in deterministic order."""
+    files = [root / "README.md", root / "ROADMAP.md"]
+    files.extend(sorted((root / "docs").glob("**/*.md")))
+    return [path for path in files if path.is_file()]
+
+
+def _visible_lines(text: str) -> Iterable[Tuple[int, str]]:
+    """Lines with fenced code blocks and inline code spans blanked out."""
+    in_fence = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        yield lineno, _CODE_SPAN_RE.sub("", line)
+
+
+def extract_links(text: str) -> List[Tuple[int, str]]:
+    """``(line, target)`` for every inline link outside code blocks."""
+    links: List[Tuple[int, str]] = []
+    for lineno, line in _visible_lines(text):
+        for match in _LINK_RE.finditer(line):
+            links.append((lineno, match.group(1)))
+    return links
+
+
+def slugify(heading: str) -> str:
+    """GitHub's heading-to-anchor slug (lowercase, punctuation dropped)."""
+    text = _CODE_SPAN_RE.sub(lambda m: m.group(0).strip("`"), heading)
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_anchors(text: str) -> Set[str]:
+    """Every anchor a markdown file exposes, with GitHub's dedup suffixes."""
+    anchors: Set[str] = set()
+    seen: Dict[str, int] = {}
+    for _, line in _visible_lines(text):
+        match = _HEADING_RE.match(line)
+        if match is None:
+            continue
+        slug = slugify(match.group(2))
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        anchors.add(slug if count == 0 else f"{slug}-{count}")
+    return anchors
+
+
+def check_file(path: Path, root: Path) -> List[BrokenLink]:
+    """All broken relative links and anchors in one markdown file."""
+    text = path.read_text(encoding="utf-8")
+    rel = str(path.relative_to(root))
+    broken: List[BrokenLink] = []
+    for lineno, target in extract_links(text):
+        if target.startswith(_EXTERNAL_PREFIXES):
+            continue
+        raw_path, _, fragment = target.partition("#")
+        if raw_path:
+            resolved = (path.parent / raw_path).resolve()
+            if not resolved.exists():
+                broken.append(BrokenLink(rel, lineno, target, "no such file"))
+                continue
+            anchor_source = resolved
+        else:  # pure '#fragment': an anchor within this file
+            anchor_source = path
+        if fragment and anchor_source.suffix == ".md":
+            if fragment not in heading_anchors(anchor_source.read_text(encoding="utf-8")):
+                broken.append(BrokenLink(rel, lineno, target, "no such heading anchor"))
+    return broken
+
+
+def check_docs(root: Path) -> List[BrokenLink]:
+    """All broken links across the covered markdown files."""
+    broken: List[BrokenLink] = []
+    for path in markdown_files(root):
+        broken.extend(check_file(path, root))
+    return broken
+
+
+def main(argv: List[str]) -> int:
+    """CLI entry point; returns the process exit code."""
+    root = Path(argv[0]) if argv else Path.cwd()
+    if not root.is_dir():
+        print(f"error: {root} is not a directory", file=sys.stderr)
+        return 2
+    broken = check_docs(root)
+    files = markdown_files(root)
+    for item in broken:
+        print(item)
+    if broken:
+        print(f"{len(broken)} broken link(s) across {len(files)} file(s)")
+        return 1
+    print(f"all intra-repo links resolve across {len(files)} markdown file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

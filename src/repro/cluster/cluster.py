@@ -9,7 +9,7 @@ factories, and runs the simulation.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
 
 from repro.des.simulator import Simulator
 from repro.cluster.config import ClusterConfig
@@ -20,6 +20,9 @@ from repro.cluster.tracing import MessageTrace
 from repro.cluster.transport import Transport
 from repro.faults.injector import FaultInjector
 from repro.faults.spec import FaultLoad
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.traces.events import TraceCollector
 
 #: A layer factory receives ``(simulator, process_id)`` and returns the
 #: protocol stack for that process, ordered top to bottom.
@@ -40,6 +43,10 @@ class Cluster:
         the transport (loss, duplication, partitions, reordering spikes),
         the Ethernet hub (congestion spikes) and the hosts (CPU load
         bursts), and crash-recovery faults are scheduled on the simulator.
+    collector:
+        Optional :class:`~repro.traces.events.TraceCollector` receiving
+        every transport send/deliver/drop event.  Purely observational
+        (no randomness consumed), so attaching one never changes results.
 
     Examples
     --------
@@ -50,11 +57,15 @@ class Cluster:
     """
 
     def __init__(
-        self, config: ClusterConfig, fault_load: Optional[FaultLoad] = None
+        self,
+        config: ClusterConfig,
+        fault_load: Optional[FaultLoad] = None,
+        collector: Optional["TraceCollector"] = None,
     ) -> None:
         self.config = config
         self.sim = Simulator(seed=config.seed)
         self.trace = MessageTrace()
+        self.collector = collector
         self.fault_injector: Optional[FaultInjector] = (
             FaultInjector(self.sim, fault_load) if fault_load else None
         )
@@ -70,7 +81,7 @@ class Cluster:
         )
         self.transport = Transport(
             self.sim, config, self.hosts, self.hub, trace=self.trace,
-            injector=self.fault_injector,
+            injector=self.fault_injector, collector=collector,
         )
         self.processes: List[NekoProcess] = []
         if self.fault_injector is not None:

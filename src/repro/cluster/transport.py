@@ -26,7 +26,7 @@ participant-crash anomaly).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Sequence
 
 from repro.des.simulator import Simulator
 from repro.cluster.config import ClusterConfig
@@ -35,6 +35,9 @@ from repro.cluster.host import Host
 from repro.cluster.message import Message
 from repro.cluster.tracing import MessageTrace
 from repro.faults.injector import FaultInjector
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.traces.events import TraceCollector
 
 DeliverCallback = Callable[[Message], None]
 
@@ -63,6 +66,12 @@ class Transport:
         Optional fault injector consulted once per unicast copy entering
         the wire (loss, duplication, partitions) and once per message in
         the receiving protocol stack (reordering delay-spikes).
+    collector:
+        Optional event collector (:class:`repro.traces.events.TraceCollector`)
+        notified of every unicast copy sent, delivered or dropped.  The
+        hooks consume no randomness and default to ``None``, so the hot
+        path -- and every result -- is unchanged unless tracing is
+        explicitly requested.
 
     Drop accounting is **per unicast copy** at every stage: a broadcast by
     a crashed sender counts ``n - 1`` drops, exactly like the per-copy
@@ -80,6 +89,7 @@ class Transport:
         hub: EthernetHub,
         trace: Optional[MessageTrace] = None,
         injector: Optional[FaultInjector] = None,
+        collector: Optional["TraceCollector"] = None,
     ) -> None:
         self.sim = sim
         self.config = config
@@ -87,6 +97,7 @@ class Transport:
         self.hub = hub
         self.trace = trace
         self.injector = injector
+        self.collector = collector
         self._receivers: Dict[int, DeliverCallback] = {}
         self._stack_rng = sim.random.stream("transport.stack")
         self.messages_sent = 0
@@ -136,6 +147,8 @@ class Transport:
                 f"{message.destination}"
             )
         self.messages_sent += 1
+        if self.collector is not None:
+            self.collector.on_send(message, self.sim.now)
         sender_host = self.hosts[message.sender]
         sender_host.use_cpu(
             self.config.network.cpu_send_ms, self._after_send_cpu, message
@@ -185,6 +198,8 @@ class Transport:
         self.messages_delivered += 1
         if self.trace is not None:
             self.trace.record_delivery(message)
+        if self.collector is not None:
+            self.collector.on_deliver(message, self.sim.now)
         receiver = self._receivers.get(message.destination)
         if receiver is not None:
             receiver(message)
@@ -195,6 +210,8 @@ class Transport:
         self.messages_dropped += 1
         key = f"{stage}:{cause}"
         self.drops_by_cause[key] = self.drops_by_cause.get(key, 0) + 1
+        if self.collector is not None:
+            self.collector.on_drop(message, stage, cause, self.sim.now)
 
     # ------------------------------------------------------------------
     def _sample_stack_latency(self) -> float:

@@ -29,6 +29,7 @@ from repro.faults.injector import FaultStats
 from repro.faults.spec import FaultLoad
 from repro.stats.cdf import EmpiricalCDF
 from repro.stats.descriptive import SampleSummary, summarize
+from repro.traces.events import EventLog, TraceCollector
 
 
 @dataclass(frozen=True)
@@ -69,6 +70,13 @@ class MeasurementConfig:
     fault_load:
         Optional composable fault load (:mod:`repro.faults`) injected into
         the cluster's transport, hub and hosts for the whole experiment.
+    collect_traces:
+        Collect a normalized per-replication event log
+        (:class:`~repro.traces.events.EventLog`: every transport
+        send/receive/drop, every crash/recovery, every failure-detector
+        transition) on :attr:`MeasurementResult.event_log`.  Opt-in and
+        purely observational -- no random stream is consumed, so results
+        are bit-identical with tracing on or off.
     """
 
     cluster: ClusterConfig
@@ -80,6 +88,7 @@ class MeasurementConfig:
     sequential: bool = False
     max_instance_time_ms: Optional[float] = None
     fault_load: Optional[FaultLoad] = None
+    collect_traces: bool = False
 
     def __post_init__(self) -> None:
         if self.executions < 1:
@@ -113,6 +122,7 @@ class MeasurementResult:
     drops_by_cause: Dict[str, int] = field(default_factory=dict)
     messages_duplicated: int = 0
     fault_stats: Optional[FaultStats] = None
+    event_log: Optional[EventLog] = None
 
     @property
     def mean_latency_ms(self) -> float:
@@ -133,7 +143,12 @@ class MeasurementRunner:
         self.config = config
         self.fd_history = FailureDetectorHistory()
         self.recorder = LatencyRecorder()
-        self.cluster = Cluster(config.cluster, fault_load=config.fault_load)
+        self.collector: Optional[TraceCollector] = (
+            TraceCollector() if config.collect_traces else None
+        )
+        self.cluster = Cluster(
+            config.cluster, fault_load=config.fault_load, collector=self.collector
+        )
         self._consensus_layers: List[ChandraTouegConsensus] = []
         self._fd_layers: List[ProtocolLayer] = []
         self._build_processes()
@@ -323,6 +338,12 @@ class MeasurementRunner:
             for layer in self._fd_layers
             if isinstance(layer, HeartbeatFailureDetector)
         )
+        event_log: Optional[EventLog] = None
+        if self.collector is not None:
+            if self.cluster.fault_injector is not None:
+                self.collector.add_fault_events(self.cluster.fault_injector.events)
+            self.collector.add_fd_transitions(self.fd_history.transitions)
+            event_log = self.collector.log
         return MeasurementResult(
             config=config,
             latencies_ms=latencies,
@@ -343,6 +364,7 @@ class MeasurementRunner:
                 if self.cluster.fault_injector is not None
                 else None
             ),
+            event_log=event_log,
         )
 
 

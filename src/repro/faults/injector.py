@@ -51,11 +51,17 @@ CAUSE_PARTITION = "partition"
 
 @dataclass(frozen=True)
 class FaultEvent:
-    """One injected fault occurrence (the fault trace)."""
+    """One injected fault occurrence (the fault trace).
+
+    ``process`` carries the structured target identity for liveness
+    faults (``crash`` / ``recovery``); message-level injections keep it
+    ``None`` and describe the affected copy in ``detail``.
+    """
 
     time_ms: float
     kind: str
     detail: str
+    process: Optional[int] = None
 
 
 @dataclass
@@ -250,17 +256,17 @@ class FaultInjector:
 
     def _do_crash(self, cluster: "Cluster", process_id: int) -> None:
         self.stats.crashes += 1
-        self._record("crash", f"p{process_id}")
+        self._record("crash", f"p{process_id}", process=process_id)
         cluster.crash_process(process_id)
 
     def _do_recover(self, cluster: "Cluster", process_id: int) -> None:
         self.stats.recoveries += 1
-        self._record("recovery", f"p{process_id}")
+        self._record("recovery", f"p{process_id}", process=process_id)
         cluster.recover_process(process_id)
 
-    def _record(self, kind: str, detail: str) -> None:
+    def _record(self, kind: str, detail: str, process: Optional[int] = None) -> None:
         if self._trace:
-            self.events.append(FaultEvent(self.sim.now, kind, detail))
+            self.events.append(FaultEvent(self.sim.now, kind, detail, process=process))
 
     def __repr__(self) -> str:
         return f"FaultInjector(load={self.load.label()!r}, stats={self.stats})"

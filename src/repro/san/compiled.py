@@ -30,6 +30,12 @@ traces pin down, so a batched row replays the scalar trajectory exactly:
   :attr:`CompiledSANModel.place_sort_rank` ranks place indices by place
   *name* so the batched refresh can walk changed places in the scalar
   executor's ``sorted(changed)`` order without comparing strings.
+
+These orderings are what make the two executors bit-identical: a
+replication's random draw order (activation draws, case draws) is a pure
+function of the traversal order the tables encode, so any change here
+must keep the golden traces -- and therefore the determinism contract of
+:mod:`repro.san.solver` -- intact.
 """
 
 from __future__ import annotations
@@ -581,9 +587,11 @@ class RowMarking(Marking):
         return clone
 
     def freeze(self) -> FrozenMarking:
+        """An immutable :class:`FrozenMarking` snapshot of this row."""
         return FrozenMarking._from_clean_tokens(self.as_dict())
 
     def total_tokens(self) -> int:
+        """Total token count over compiled places and the overflow dict."""
         return sum(self._row) + sum(self._overflow.values())
 
     def __repr__(self) -> str:

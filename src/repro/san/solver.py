@@ -6,6 +6,19 @@ the equivalent: a terminating (transient) simulation repeated over many
 independent replications, reporting the mean of each reward variable with a
 Student-t confidence interval, and optionally running until a relative
 precision target is met.
+
+Determinism contract
+--------------------
+Every replication is a pure function of ``(seed, replication index)``:
+replication seeds come from :meth:`SimulativeSolver.point_seed`, and all
+randomness inside a replication flows through the simulator's *named*
+random streams, whose draw order is fixed by the model structure.  Any
+executor (scalar :class:`~repro.san.executor.SANExecutor`, lock-step
+:class:`~repro.san.batched.BatchedSANExecutor`) must preserve that
+per-replication stream/draw order -- the strategy knob changes
+throughput, never results.  Observers attached through the
+reward-variable protocol (including the opt-in activity trace) must not
+draw from any stream.
 """
 
 from __future__ import annotations
@@ -85,14 +98,51 @@ def auto_batch_size(model: SANModel) -> int:
     return max(MIN_AUTO_BATCH_SIZE, min(MAX_AUTO_BATCH_SIZE, size))
 
 
+@dataclass(frozen=True)
+class ActivityCompletion:
+    """One activity completion of a traced replication."""
+
+    time: float
+    activity: str
+
+
+class _ActivityTraceRecorder(RewardVariable):
+    """Reward-variable observer recording every activity completion.
+
+    Riding the executor's reward-notification protocol keeps tracing out
+    of the execution hot path entirely: the recorder draws nothing and
+    observes the same completion stream on any executor, so attaching it
+    cannot perturb results.
+    """
+
+    name = "_activity_trace"
+
+    def __init__(self) -> None:
+        self.completions: List[ActivityCompletion] = []
+
+    def on_activity_completion(
+        self, activity_name: str, marking: Marking, time: float
+    ) -> None:
+        self.completions.append(ActivityCompletion(time=time, activity=activity_name))
+
+    def value(self) -> float:
+        return float(len(self.completions))
+
+
 @dataclass
 class ReplicationResult:
-    """Reward values observed in a single replication."""
+    """Reward values observed in a single replication.
+
+    ``trace`` is ``None`` unless the solver was built with
+    ``collect_traces=True``, in which case it lists every activity
+    completion of the replication in completion order.
+    """
 
     replication: int
     end_time: float
     stopped_by_predicate: bool
     rewards: Dict[str, float]
+    trace: Optional[List[ActivityCompletion]] = None
 
 
 @dataclass
@@ -210,6 +260,15 @@ class SimulativeSolver:
         stateful gates.  The cached model never crosses process boundaries
         (it is dropped on pickling), so ``jobs > 1`` still works with
         factories whose *models* are unpicklable.
+    collect_traces:
+        Record every activity completion of every replication on
+        :attr:`ReplicationResult.trace`.  Tracing observes the reward
+        notification stream only -- it consumes no randomness -- so the
+        reward values stay bit-identical with tracing on or off.  The
+        lock-step batched executor does not emit per-replication traces,
+        so a tracing solver **falls back to the scalar strategy**
+        (``solve(strategy="batched")`` and :meth:`run_batch` both run
+        scalar, seed-per-seed identical as always).
     """
 
     def __init__(
@@ -224,6 +283,7 @@ class SimulativeSolver:
         reuse_model: bool = False,
         executor_class: type = SANExecutor,
         batched_executor_class: Optional[type] = None,
+        collect_traces: bool = False,
     ) -> None:
         self.model_factory = model_factory
         self.reward_factory = reward_factory
@@ -239,6 +299,7 @@ class SimulativeSolver:
         if batched_executor_class is None:
             batched_executor_class = BatchedSANExecutor
         self.batched_executor_class = batched_executor_class
+        self.collect_traces = collect_traces
         self._cached_model: Optional[SANModel] = None
 
     def __getstate__(self) -> Dict[str, Any]:
@@ -265,18 +326,23 @@ class SimulativeSolver:
         sim = Simulator(seed=seed)
         model = self._model()
         rewards = list(self.reward_factory())
+        recorder = _ActivityTraceRecorder() if self.collect_traces else None
+        observers: List[RewardVariable] = list(rewards)
+        if recorder is not None:
+            observers.append(recorder)
         initial = (
             self.initial_marking_factory(model)
             if self.initial_marking_factory is not None
             else None
         )
-        executor = self.executor_class(model, sim, rewards, initial_marking=initial)
+        executor = self.executor_class(model, sim, observers, initial_marking=initial)
         outcome = executor.run(until=self.max_time, stop_predicate=self.stop_predicate)
         return ReplicationResult(
             replication=index,
             end_time=outcome.end_time,
             stopped_by_predicate=outcome.stopped_by_predicate,
             rewards={reward.name: reward.value() for reward in rewards},
+            trace=recorder.completions if recorder is not None else None,
         )
 
     def solve(
@@ -338,6 +404,11 @@ class SimulativeSolver:
         """
         strategy = execution.resolve_strategy(strategy)
         batch_size = execution.resolve_batch_size(batch_size)
+        if self.collect_traces and strategy == "batched":
+            # The lock-step executor has no per-replication completion
+            # stream; tracing solvers fall back to the (bit-identical)
+            # scalar strategy -- documented on ``collect_traces``.
+            strategy = "scalar"
         if strategy == "batched" and batch_size == execution.AUTO_BATCH_SIZE:
             # Resolve the heuristic once per solve (not per precision-loop
             # chunk): it compiles a model to measure the structure.
@@ -538,8 +609,12 @@ class SimulativeSolver:
         Every replication keeps its own derived seed, named streams and
         reward variables, so each entry of the returned list is
         bit-identical to :meth:`run_replication` of the same index.
+        Under ``collect_traces=True`` the batch falls back to scalar
+        per-replication runs (same seeds, same results, traces attached).
         """
         indices = list(indices)
+        if self.collect_traces:
+            return [self.run_replication(index) for index in indices]
         model = self._model()
         rewards_rows = [list(self.reward_factory()) for _ in indices]
         initial_markings = None

@@ -1,0 +1,210 @@
+"""Replication-outcome featurization and density clustering.
+
+A fault sweep's replications are summarised into fixed-length feature
+vectors (drop counts by cause, crash timing, failure-detector
+transitions, QoS metrics) and clustered with a dependency-free DBSCAN
+over standardized features, surfacing the distinct failure modes of a
+sweep point.  Clusters are ranked by how far their centroid sits from
+the global mean (the most anomalous mode first) and each cluster names a
+*medoid* exemplar -- the member replication most representative of its
+mode, the natural subject for happens-before slicing and trace diffing.
+
+Everything here is deterministic: features are assembled over sorted key
+unions, DBSCAN visits points in index order, and no randomness is drawn
+anywhere, so the same outcomes always produce the same clusters.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.traces.events import CRASH, EventLog
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.measurement import MeasurementResult
+
+#: DBSCAN defaults in *standardized* feature space: two replications
+#: within 2.0 pooled standard deviations are density-reachable, and a
+#: mode needs at least two members to be a cluster (singletons rank as
+#: noise, which a sweep's exemplar ranking reports separately).
+DEFAULT_EPS = 2.0
+DEFAULT_MIN_SAMPLES = 2
+
+
+@dataclass(frozen=True)
+class FeatureMatrix:
+    """A fixed-order feature matrix over a sweep's replications."""
+
+    names: Tuple[str, ...]
+    rows: Tuple[Tuple[float, ...], ...]
+
+    @property
+    def n_rows(self) -> int:
+        """Number of replications."""
+        return len(self.rows)
+
+
+@dataclass(frozen=True)
+class ClusterInfo:
+    """One discovered failure mode."""
+
+    label: int
+    members: Tuple[int, ...]
+    exemplar: int
+    score: float
+
+
+@dataclass
+class ClusterResult:
+    """The clustering of one sweep point's replications.
+
+    ``labels[i]`` is the cluster label of replication *i* (``-1`` =
+    noise); ``clusters`` is ranked most-anomalous-first (largest centroid
+    norm in standardized feature space).
+    """
+
+    labels: List[int]
+    clusters: List[ClusterInfo] = field(default_factory=list)
+    noise: Tuple[int, ...] = ()
+
+    def cluster_of(self, index: int) -> int:
+        """The cluster label of one replication (``-1`` = noise)."""
+        return self.labels[index]
+
+
+def featurize_measurement(
+    result: "MeasurementResult", log: EventLog | None = None
+) -> Dict[str, float]:
+    """The feature dictionary of one measurement replication.
+
+    Covers the outcome axes that distinguish failure modes: latency and
+    undecided counts (QoS), per-cause drop counters, duplication, crash
+    counts and (from the event log, when given) first-crash timing, and
+    failure-detector transition counts.  Non-finite values (e.g. the
+    mean latency of an all-undecided run) become ``0.0`` -- the
+    ``undecided`` feature carries that signal instead.
+    """
+    features: Dict[str, float] = {
+        "mean_latency_ms": result.mean_latency_ms,
+        "max_latency_ms": max(result.latencies_ms) if result.latencies_ms else 0.0,
+        "undecided": float(result.undecided),
+        "messages_dropped": float(result.messages_dropped),
+        "messages_duplicated": float(result.messages_duplicated),
+        "fd_transitions": float(len(result.fd_history)),
+    }
+    for cause, count in result.drops_by_cause.items():
+        features[f"drops:{cause}"] = float(count)
+    if result.fault_stats is not None:
+        features["crashes"] = float(result.fault_stats.crashes)
+        features["recoveries"] = float(result.fault_stats.recoveries)
+    log = log if log is not None else getattr(result, "event_log", None)
+    if log is not None:
+        crashes = log.of_kind(CRASH)
+        features["first_crash_ms"] = crashes[0].time_ms if crashes else 0.0
+    return {
+        name: (value if math.isfinite(value) else 0.0)
+        for name, value in features.items()
+    }
+
+
+def feature_matrix(rows: Sequence[Dict[str, float]]) -> FeatureMatrix:
+    """Assemble per-replication feature dicts into a fixed-order matrix.
+
+    Columns are the sorted union of every dict's keys; missing entries
+    are ``0.0`` (a replication without e.g. crash drops genuinely had
+    zero of them).
+    """
+    names = tuple(sorted({name for row in rows for name in row}))
+    matrix = tuple(
+        tuple(float(row.get(name, 0.0)) for name in names) for row in rows
+    )
+    return FeatureMatrix(names=names, rows=matrix)
+
+
+def _standardize(matrix: FeatureMatrix) -> np.ndarray:
+    data = np.asarray(matrix.rows, dtype=np.float64)
+    if data.size == 0:
+        return data
+    mean = data.mean(axis=0)
+    std = data.std(axis=0)
+    std[std == 0.0] = 1.0  # constant columns carry no distance
+    return (data - mean) / std
+
+
+def _dbscan(points: np.ndarray, eps: float, min_samples: int) -> List[int]:
+    """Classic DBSCAN over a small point set (index-ordered, deterministic)."""
+    n = len(points)
+    if n == 0:
+        return []
+    deltas = points[:, None, :] - points[None, :, :]
+    distances = np.sqrt((deltas**2).sum(axis=2))
+    neighborhoods = [np.flatnonzero(distances[i] <= eps).tolist() for i in range(n)]
+    labels = [-1] * n
+    visited = [False] * n
+    cluster = 0
+    for i in range(n):
+        if visited[i]:
+            continue
+        visited[i] = True
+        if len(neighborhoods[i]) < min_samples:
+            continue  # not a core point (may later join a cluster as border)
+        labels[i] = cluster
+        frontier = list(neighborhoods[i])
+        position = 0
+        while position < len(frontier):
+            j = frontier[position]
+            position += 1
+            if labels[j] == -1:
+                labels[j] = cluster
+            if visited[j]:
+                continue
+            visited[j] = True
+            if len(neighborhoods[j]) >= min_samples:
+                frontier.extend(neighborhoods[j])
+        cluster += 1
+    return labels
+
+
+def cluster_features(
+    matrix: FeatureMatrix,
+    eps: float = DEFAULT_EPS,
+    min_samples: int = DEFAULT_MIN_SAMPLES,
+) -> ClusterResult:
+    """Cluster a sweep's replications into distinct failure modes.
+
+    Features are standardized column-wise (z-scores over the whole
+    point), DBSCAN runs with ``eps``/``min_samples`` in that space, and
+    the resulting clusters are ranked by descending centroid norm --
+    the cluster whose mode deviates most from the sweep-point average
+    first.  Each cluster's ``exemplar`` is its medoid.
+    """
+    standardized = _standardize(matrix)
+    labels = _dbscan(standardized, eps=eps, min_samples=min_samples)
+    by_label: Dict[int, List[int]] = {}
+    for index, label in enumerate(labels):
+        if label >= 0:
+            by_label.setdefault(label, []).append(index)
+    clusters: List[ClusterInfo] = []
+    for label in sorted(by_label):
+        members = by_label[label]
+        block = standardized[members]
+        centroid = block.mean(axis=0)
+        score = float(np.sqrt((centroid**2).sum()))
+        deltas = block[:, None, :] - block[None, :, :]
+        costs = np.sqrt((deltas**2).sum(axis=2)).sum(axis=1)
+        exemplar = members[int(np.argmin(costs))]
+        clusters.append(
+            ClusterInfo(
+                label=label,
+                members=tuple(members),
+                exemplar=exemplar,
+                score=score,
+            )
+        )
+    clusters.sort(key=lambda info: (-info.score, info.label))
+    noise = tuple(index for index, label in enumerate(labels) if label < 0)
+    return ClusterResult(labels=labels, clusters=clusters, noise=noise)

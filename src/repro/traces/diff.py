@@ -1,0 +1,133 @@
+"""Trace diffing: reduce an anomaly to a minimal ordered explanation.
+
+Given the event log of an anomalous replication and a nominal exemplar
+(typically the medoids of two clusters from :mod:`repro.traces.cluster`),
+:func:`diff_logs` abstracts both logs into event *signatures* -- the
+event stripped of its volatile identity (time, ``msg_id``) -- counts
+each signature on both sides, and reports only the signatures whose
+counts differ, ordered by first occurrence.  The result reads as the
+minimal story of how the anomalous run diverged: "3 crash events at p0
+(nominal: 0), 41 send:sender-crashed drops (nominal: 0), ...".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.traces.events import EventLog, TraceEvent
+
+#: A signature: the event with its volatile identity removed.
+Signature = Tuple[str, str, int, int, int, str]
+
+
+def event_signature(event: TraceEvent) -> Signature:
+    """The stable identity of an event class (no time, no ``msg_id``)."""
+    return (
+        event.kind,
+        event.msg_type or "",
+        event.sender if event.sender is not None else event.process,
+        event.destination if event.destination is not None else -1,
+        event.peer if event.peer is not None else -1,
+        event.detail,
+    )
+
+
+def describe_signature(signature: Signature) -> str:
+    """A human-readable one-liner for a signature."""
+    kind, msg_type, sender, destination, peer, detail = signature
+    parts = [kind]
+    if msg_type:
+        parts.append(msg_type)
+    if destination >= 0:
+        parts.append(f"p{sender}->p{destination}")
+    elif peer >= 0:
+        parts.append(f"p{sender} about p{peer}")
+    else:
+        parts.append(f"p{sender}")
+    if detail:
+        parts.append(f"[{detail}]")
+    return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class DiffStep:
+    """One line of the explanation: a signature whose counts differ."""
+
+    description: str
+    anomalous_count: int
+    nominal_count: int
+    first_time_ms: float
+
+    @property
+    def delta(self) -> int:
+        """Count difference (positive = surplus in the anomalous run)."""
+        return self.anomalous_count - self.nominal_count
+
+
+@dataclass
+class TraceDiff:
+    """The minimal ordered explanation of an anomalous replication."""
+
+    steps: List[DiffStep]
+
+    def render_text(self, limit: int = 12) -> str:
+        """The explanation as indented text (at most ``limit`` steps)."""
+        if not self.steps:
+            return "  (no event-class differences)"
+        lines = []
+        for step in self.steps[:limit]:
+            lines.append(
+                f"  t={step.first_time_ms:9.3f} ms  {step.description}: "
+                f"{step.anomalous_count} vs {step.nominal_count} nominal "
+                f"({step.delta:+d})"
+            )
+        if len(self.steps) > limit:
+            lines.append(f"  ... and {len(self.steps) - limit} more differences")
+        return "\n".join(lines)
+
+
+def diff_logs(
+    anomalous: EventLog, nominal: EventLog, max_steps: int = 50
+) -> TraceDiff:
+    """Diff two event logs into a minimal ordered explanation.
+
+    Signatures present only in the nominal log (events the anomalous run
+    *lacked*) are ordered by their nominal first-occurrence time, after
+    the surplus steps of the same instant; ``max_steps`` bounds the
+    explanation, keeping the largest absolute count differences when
+    truncating (the ordering stays chronological).
+    """
+    counts_anomalous: Dict[Signature, int] = {}
+    first_anomalous: Dict[Signature, float] = {}
+    for event in anomalous.events():
+        signature = event_signature(event)
+        counts_anomalous[signature] = counts_anomalous.get(signature, 0) + 1
+        first_anomalous.setdefault(signature, event.time_ms)
+    counts_nominal: Dict[Signature, int] = {}
+    first_nominal: Dict[Signature, float] = {}
+    for event in nominal.events():
+        signature = event_signature(event)
+        counts_nominal[signature] = counts_nominal.get(signature, 0) + 1
+        first_nominal.setdefault(signature, event.time_ms)
+
+    steps: List[DiffStep] = []
+    for signature in sorted(set(counts_anomalous) | set(counts_nominal)):
+        in_anomalous = counts_anomalous.get(signature, 0)
+        in_nominal = counts_nominal.get(signature, 0)
+        if in_anomalous == in_nominal:
+            continue
+        first = first_anomalous.get(signature, first_nominal.get(signature, 0.0))
+        steps.append(
+            DiffStep(
+                description=describe_signature(signature),
+                anomalous_count=in_anomalous,
+                nominal_count=in_nominal,
+                first_time_ms=first,
+            )
+        )
+    if len(steps) > max_steps:
+        steps.sort(key=lambda step: -abs(step.delta))
+        steps = steps[:max_steps]
+    steps.sort(key=lambda step: (step.first_time_ms, step.description))
+    return TraceDiff(steps=steps)

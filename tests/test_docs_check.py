@@ -1,0 +1,135 @@
+"""Tests for the intra-repo markdown link checker (repro.analysis.docs).
+
+The CI ``docs`` job gates on ``python -m repro.analysis.docs``; these
+tests pin the link/anchor semantics on synthetic trees and self-host the
+gate on the real repository, so a broken README or docs/ link fails
+tier-1 locally as well as in CI.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.docs import (
+    check_docs,
+    check_file,
+    extract_links,
+    heading_anchors,
+    main,
+    markdown_files,
+    slugify,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+# --- link extraction -------------------------------------------------------
+
+
+def test_extracts_inline_links_and_images_with_line_numbers():
+    text = "intro\nsee [a](x.md) and ![img](pic.png)\n[b](y.md#frag)\n"
+    assert extract_links(text) == [(2, "x.md"), (2, "pic.png"), (3, "y.md#frag")]
+
+
+def test_ignores_links_inside_fenced_code_blocks_and_code_spans():
+    text = (
+        "```\n[fenced](gone.md)\n```\n"
+        "a `[span](gone.md)` span\n"
+        "[real](real.md)\n"
+    )
+    assert extract_links(text) == [(5, "real.md")]
+
+
+def test_external_links_are_out_of_scope(tmp_path):
+    page = tmp_path / "page.md"
+    page.write_text("[w](https://example.com/gone) [m](mailto:a@b.c)\n")
+    assert check_file(page, tmp_path) == []
+
+
+# --- anchors ---------------------------------------------------------------
+
+
+def test_slugify_matches_githubs_scheme():
+    assert slugify("Trace production and consumption") == (
+        "trace-production-and-consumption"
+    )
+    assert slugify("The `repro.traces` API!") == "the-reprotraces-api"
+    assert slugify("Where to add things") == "where-to-add-things"
+
+
+def test_heading_anchors_deduplicate_with_numeric_suffixes():
+    text = "# Title\n## Setup\ntext\n## Setup\n"
+    assert heading_anchors(text) == {"title", "setup", "setup-1"}
+
+
+def test_headings_inside_code_fences_are_not_anchors():
+    text = "# Real\n```\n# not a heading\n```\n"
+    assert heading_anchors(text) == {"real"}
+
+
+# --- checking --------------------------------------------------------------
+
+
+def _write(tmp_path: Path, name: str, text: str) -> Path:
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+    return path
+
+
+def test_missing_file_and_missing_anchor_are_reported(tmp_path):
+    _write(tmp_path, "docs/other.md", "# Only Heading\n")
+    page = _write(
+        tmp_path,
+        "docs/page.md",
+        "[gone](missing.md)\n[frag](other.md#nope)\n[ok](other.md#only-heading)\n",
+    )
+    broken = check_file(page, tmp_path)
+    assert [(b.line, b.target, b.reason) for b in broken] == [
+        (1, "missing.md", "no such file"),
+        (2, "other.md#nope", "no such heading anchor"),
+    ]
+    assert str(broken[0]) == "docs/page.md:1: broken link 'missing.md' (no such file)"
+
+
+def test_pure_fragment_links_resolve_against_the_same_file(tmp_path):
+    page = _write(tmp_path, "docs/page.md", "# Top\n[up](#top)\n[bad](#nope)\n")
+    broken = check_file(page, tmp_path)
+    assert [(b.line, b.target) for b in broken] == [(3, "#nope")]
+
+
+def test_fragments_on_non_markdown_targets_are_not_anchor_checked(tmp_path):
+    _write(tmp_path, "script.py", "print('hi')\n")
+    page = _write(tmp_path, "page.md", "[src](script.py#L1)\n")
+    assert check_file(page, tmp_path) == []
+
+
+def test_markdown_files_covers_readme_roadmap_and_docs_tree(tmp_path):
+    _write(tmp_path, "README.md", "readme\n")
+    _write(tmp_path, "ROADMAP.md", "roadmap\n")
+    _write(tmp_path, "docs/b.md", "b\n")
+    _write(tmp_path, "docs/a.md", "a\n")
+    _write(tmp_path, "docs/sub/c.md", "c\n")
+    names = [str(p.relative_to(tmp_path)) for p in markdown_files(tmp_path)]
+    assert names == ["README.md", "ROADMAP.md", "docs/a.md", "docs/b.md", "docs/sub/c.md"]
+
+
+def test_main_exit_codes(tmp_path, capsys):
+    _write(tmp_path, "README.md", "[ok link](ROADMAP.md)\n")
+    _write(tmp_path, "ROADMAP.md", "fine\n")
+    assert main([str(tmp_path)]) == 0
+    _write(tmp_path, "docs/bad.md", "[gone](missing.md)\n")
+    assert main([str(tmp_path)]) == 1
+    assert "broken link 'missing.md'" in capsys.readouterr().out
+    assert main([str(tmp_path / "README.md")]) == 2  # not a directory
+
+
+# --- self-hosting: the real repository must pass the gate ------------------
+
+
+def test_repository_markdown_links_all_resolve():
+    covered = markdown_files(REPO_ROOT)
+    assert REPO_ROOT / "README.md" in covered
+    assert REPO_ROOT / "docs" / "ARCHITECTURE.md" in covered
+    broken = check_docs(REPO_ROOT)
+    assert broken == [], "\n".join(str(b) for b in broken)

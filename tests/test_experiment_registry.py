@@ -29,6 +29,7 @@ EXPECTED_EXPERIMENTS = {
     "means",
     "solvercompare",
     "table1",
+    "traceanalysis",
 }
 
 
